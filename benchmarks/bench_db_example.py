@@ -1,0 +1,89 @@
+"""TAB-S6 + FIG7 + FIG8: the section 6 employee-database experiment.
+
+Reproduces the paper's annotation-iteration study on the reconstructed
+database program: the unannotated program produces messages; annotations
+are added stage by stage; the final program checks clean; and the census
+of annotations is dominated by ``only`` exactly as the paper's tally
+(15 = 1 null + 1 out + 13 only) was.
+"""
+
+import pytest
+
+from repro import Checker, Flags
+from repro.bench.dbexample import FINAL_STAGE, annotation_census, db_sources
+from repro.bench.harness import db_runtime_residue, section6_experiment
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+
+def test_section6_census(benchmark, table_printer):
+    rows = benchmark.pedantic(section6_experiment, rounds=1, iterations=1)
+    table_printer("TAB-S6: annotation iterations on the db example", rows)
+
+    assert rows[0]["annotations"] == 0
+    assert rows[0]["messages_default"] > rows[-1]["messages_default"]
+    # the final stage resolves every anomaly, under both flag settings
+    assert rows[-1]["messages_allimponly"] == 0
+    assert rows[-1]["messages_default"] == 0
+    # the composition is dominated by only annotations, as in the paper
+    final = annotation_census(FINAL_STAGE)
+    assert final.only >= final.null
+    assert final.only >= 10
+    assert final.out == 1
+    assert final.unique == 1
+
+
+def test_fig7_erc_create_null_field(benchmark):
+    """FIG7: the null-vals anomaly appears when the annotation is removed."""
+    files = db_sources(FINAL_STAGE)
+    broken = dict(files)
+    # Remove the nullability of vals entirely: both the field annotation
+    # and the typedef-level null on ercElem (a type-declaration
+    # annotation constrains all instances, so it licenses the NULL too).
+    broken["erc.h"] = broken["erc.h"].replace(
+        "/*@null@*/ /*@only@*/ ercElem vals;", "/*@only@*/ ercElem vals;"
+    ).replace(
+        "typedef /*@null@*/ struct _elem", "typedef struct _elem"
+    )
+
+    def check():
+        return Checker(flags=NOIMP).check_sources(dict(broken))
+
+    result = benchmark.pedantic(check, rounds=1, iterations=1)
+    null_msgs = [
+        m for m in result.messages if m.code is MessageCode.NULL_RET_VALUE
+    ]
+    assert any(
+        "c->vals derivable from return value" in m.text for m in null_msgs
+    ), [m.text for m in result.messages]
+
+
+def test_fig8_unique_strcpy(benchmark):
+    """FIG8: removing unique from setName's parameter restores the anomaly."""
+    files = db_sources(FINAL_STAGE)
+    broken = dict(files)
+    broken["employee.h"] = broken["employee.h"].replace(
+        "/*@unique@*/ char *na", "char *na"
+    )
+    broken["employee.c"] = broken["employee.c"].replace(
+        "/*@unique@*/ char *na", "char *na"
+    )
+
+    def check():
+        return Checker(flags=NOIMP).check_sources(dict(broken))
+
+    result = benchmark.pedantic(check, rounds=1, iterations=1)
+    unique = [m for m in result.messages if m.code is MessageCode.UNIQUE_ALIAS]
+    assert len(unique) == 1
+    assert "declared unique but may be aliased externally" in unique[0].text
+
+
+def test_db_runtime_residue(benchmark, table_printer):
+    """Section 7: after static checking is clean, run-time tools still
+    find leaks of storage reachable from globals at exit."""
+    info = benchmark.pedantic(db_runtime_residue, rounds=1, iterations=1)
+    table_printer("db example: static-clean vs run-time residue", [info])
+    assert info["static_messages"] == 0
+    assert info["runtime_leaked_blocks"] > 0
+    assert info["exit_code"] == 0

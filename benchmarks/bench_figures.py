@@ -1,0 +1,38 @@
+"""FIG1-FIG6: reproduce and time every sample.c figure in the paper.
+
+Each benchmark checks one figure's program and asserts the exact message
+count the paper reports (the message *texts* are asserted in
+tests/integration/test_paper_figures.py). The timing shows per-figure
+checking cost, which the paper implies is interactive ("LCLint is run
+frequently").
+"""
+
+import pytest
+
+from repro import Checker
+from repro.bench.harness import FIGURE_SOURCES, figure6_cfg
+
+
+@pytest.mark.parametrize("figure", sorted(FIGURE_SOURCES))
+def test_figure(benchmark, figure):
+    source, flags, expected = FIGURE_SOURCES[figure]
+
+    def check():
+        return Checker(flags=flags).check_sources({"sample.c": source})
+
+    result = benchmark(check)
+    assert len(result.messages) == expected, (
+        f"{figure}: expected {expected} message(s), got "
+        f"{[m.text for m in result.messages]}"
+    )
+
+
+def test_fig6_cfg(benchmark, table_printer):
+    info = benchmark(figure6_cfg)
+    table_printer(
+        "FIG6: control-flow graph for list_addh (loops-as-ifs)",
+        [{k: v for k, v in info.items() if k != "dot"}],
+    )
+    assert info["acyclic"], "the analysis model has no back edges"
+    assert info["branches"] == 2  # the if and the while
+    assert info["paths"] == 3

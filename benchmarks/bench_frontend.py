@@ -1,0 +1,57 @@
+"""Frontend throughput: lexing, preprocessing, parsing.
+
+Supporting measurements for PERF-LIN: the per-phase cost of the
+pipeline on a generated program, so regressions in any one phase are
+visible independently of the analysis.
+"""
+
+from repro.bench.generator import generate_program_of_size
+from repro.core.api import Checker
+from repro.frontend.lexer import tokenize
+from repro.frontend.source import SourceFile
+
+
+def _biggest_module(program):
+    name = max(
+        (n for n in program.files if n.endswith(".c")),
+        key=lambda n: len(program.files[n]),
+    )
+    return name, program.files[name]
+
+
+def test_lexer_throughput(benchmark):
+    program = generate_program_of_size(4000)
+    name, text = _biggest_module(program)
+    source = SourceFile(name, text)
+    toks = benchmark(lambda: tokenize(source))
+    assert len(toks) > 100
+
+
+def test_parse_unit_throughput(benchmark):
+    program = generate_program_of_size(4000)
+    name, text = _biggest_module(program)
+    headers = {n: t for n, t in program.files.items() if n.endswith(".h")}
+
+    def parse():
+        checker = Checker()
+        for hname, htext in headers.items():
+            checker.sources.add(hname, htext)
+        return checker.parse_unit(text, name)
+
+    parsed = benchmark(parse)
+    assert parsed.unit.functions()
+
+
+def test_runtime_interpreter_throughput(benchmark):
+    """Executing the db example under the instrumented heap."""
+    from repro.bench.dbexample import FINAL_STAGE, db_sources
+    from repro.runtime.interp import run_program
+
+    files = db_sources(FINAL_STAGE)
+
+    def run():
+        return run_program(files, max_steps=5_000_000)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.exit_code == 0
+    assert result.allocations > result.frees  # global-reachable residue

@@ -1,0 +1,49 @@
+"""PERF-LIN: checking cost scales approximately linearly with program size.
+
+Paper, section 2: "it is essential that the checking be efficient and
+scale approximately linearly with the size of the program"; section 7:
+100,000 lines in under four minutes on a DEC 3000/500. The absolute
+numbers here come from a different machine and substrate (a Python
+analysis instead of C); the *shape* — near-constant cost per kloc — is
+the reproduced result.
+"""
+
+import pytest
+
+from repro import Checker
+from repro.bench.generator import generate_program_of_size
+from repro.bench.harness import linearity_ratio
+
+SIZES = (1000, 2000, 4000, 8000)
+
+_RESULTS: list[dict] = []
+
+
+@pytest.mark.parametrize("target_loc", SIZES)
+def test_scaling(benchmark, target_loc):
+    program = generate_program_of_size(target_loc)
+    files = dict(program.files)
+
+    def check():
+        return Checker().check_sources(dict(files))
+
+    result = benchmark.pedantic(check, rounds=1, iterations=1, warmup_rounds=0)
+    assert result.messages == [], "generated programs must check clean"
+    seconds = benchmark.stats.stats.mean
+    _RESULTS.append(
+        {
+            "loc": program.loc,
+            "seconds": seconds,
+            "sec_per_kloc": seconds / (program.loc / 1000.0),
+        }
+    )
+
+
+def test_scaling_is_roughly_linear(benchmark, table_printer):
+    assert len(_RESULTS) == len(SIZES), "run the sweep first (same session)"
+    table_printer("PERF-LIN: checking time vs program size", _RESULTS)
+    ratio = benchmark(lambda: linearity_ratio(_RESULTS))
+    print(f"per-kloc cost spread (max/min): {ratio:.2f}x")
+    # 'Approximately linear': the per-kloc cost may drift, but must stay
+    # far from quadratic (which would give ~8x spread over this sweep).
+    assert ratio < 3.0, f"scaling looks super-linear: {_RESULTS}"

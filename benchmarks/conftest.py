@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite."""
+
+import pytest
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Print experiment rows as an aligned table (visible with -s,
+    and captured into the bench output log otherwise)."""
+    print(f"\n== {title} ==")
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0])
+    widths = {
+        h: max(len(h), *(len(_fmt(r[h])) for r in rows)) for h in headers
+    }
+    print("  ".join(h.ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  ".join(_fmt(row[h]).ljust(widths[h]) for h in headers))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

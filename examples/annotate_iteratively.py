@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The section 6 workflow: annotate a real program iteratively.
+
+"Adding annotations is an iterative process. With each iteration, LCLint
+detects some anomalies, annotations are added or discovered bugs are
+fixed, and LCLint is run again to propagate the new annotations up the
+call chain."
+
+This example replays that process on the reconstructed employee-database
+program (see ``repro.bench.dbexample``): stage 0 is the original
+unannotated program (with the driver's six storage leaks); each stage
+adds the annotations and fixes prompted by the previous run; the final
+stage checks clean.
+
+Run with::
+
+    python examples/annotate_iteratively.py
+"""
+
+from repro import Checker, Flags
+from repro.bench.dbexample import FINAL_STAGE, annotation_census, db_sources
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+STAGE_NOTES = {
+    0: "original program (unannotated; driver leaks present)",
+    1: "+ null annotations and the assertions they prompted",
+    2: "+ only/reldef fixing the -allimponly allocation anomalies",
+    3: "+ only annotations propagated up the call chain",
+    4: "+ driver free() fixes, the out parameter, and unique",
+}
+
+
+def main() -> None:
+    print(f"{'stage':>5} {'annotations':>12} {'msgs (-allimponly)':>19} "
+          f"{'msgs (default)':>15}   notes")
+    for stage in range(FINAL_STAGE + 1):
+        files = db_sources(stage)
+        noimp = Checker(flags=NOIMP).check_sources(files)
+        default = Checker().check_sources(files)
+        census = annotation_census(stage)
+        print(f"{stage:>5} {census.total:>12} {len(noimp.messages):>19} "
+              f"{len(default.messages):>15}   {STAGE_NOTES[stage]}")
+
+    census = annotation_census(FINAL_STAGE)
+    print(
+        f"\nfinal annotation census: {census.null} null, {census.only} only, "
+        f"{census.out} out, {census.unique} unique, {census.relaxed} relaxed "
+        f"(paper, section 6: 15 = 1 null + 1 out + 13 only, plus unique)"
+    )
+
+    print("\nmessages from an intermediate stage (stage 3), showing the")
+    print("driver's storage leaks the way section 6 reports them:\n")
+    stage3 = Checker(flags=NOIMP).check_sources(db_sources(3))
+    for message in stage3.messages:
+        print(message.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,189 @@
+#include <stdlib.h>
+#include <stdio.h>
+#include <string.h>
+#include <assert.h>
+#include "employee.h"
+#include "eref.h"
+#include "erc.h"
+#include "empset.h"
+#include "dbase.h"
+
+static /*@null@*/ /*@only@*/ erc db_mMgrs;
+static /*@null@*/ /*@only@*/ erc db_fMgrs;
+static /*@null@*/ /*@only@*/ erc db_mNon;
+static /*@null@*/ /*@only@*/ erc db_fNon;
+
+static /*@dependent@*/ erc db_bucket(gender g, job j)
+{
+  if (g == MALE) {
+    if (j == MGR) {
+      assert(db_mMgrs != NULL);
+      return db_mMgrs;
+    }
+    assert(db_mNon != NULL);
+    return db_mNon;
+  }
+  if (j == MGR) {
+    assert(db_fMgrs != NULL);
+    return db_fMgrs;
+  }
+  assert(db_fNon != NULL);
+  return db_fNon;
+}
+
+static eref db_locate(int ssNum)
+{
+  gender g;
+  job j;
+  erc bucket;
+  ercElem cur;
+  employee e;
+
+  for (g = MALE; g <= FEMALE; g++) {
+    for (j = MGR; j <= NONMGR; j++) {
+      bucket = db_bucket(g, j);
+      cur = bucket->vals;
+      while (cur != NULL) {
+        e = eref_get(cur->val);
+        if (e.ssNum == ssNum) {
+          return cur->val;
+        }
+        cur = cur->next;
+      }
+    }
+  }
+  return erefNIL;
+}
+
+void db_initMod(void)
+{
+  eref_initMod();
+  db_mMgrs = erc_create();
+  db_fMgrs = erc_create();
+  db_mNon = erc_create();
+  db_fNon = erc_create();
+}
+
+db_status db_hire(employee e)
+{
+  if (db_locate(e.ssNum) != erefNIL) {
+    return db_DUPLICATE;
+  }
+  if (e.salary < 0) {
+    return db_BADRANGE;
+  }
+  {
+    eref er = eref_alloc();
+    if (er == erefNIL) {
+      return db_BADRANGE;
+    }
+    eref_assign(er, e);
+    erc_insert(db_bucket(e.gen, e.j), er);
+  }
+  return db_OK;
+}
+
+db_status db_fire(int ssNum)
+{
+  eref er = db_locate(ssNum);
+  employee e;
+
+  if (er == erefNIL) {
+    return db_MISSING;
+  }
+  e = eref_get(er);
+  if (erc_delete(db_bucket(e.gen, e.j), er)) {
+    eref_free(er);
+    return db_OK;
+  }
+  return db_MISSING;
+}
+
+db_status db_promote(int ssNum)
+{
+  eref er = db_locate(ssNum);
+  employee e;
+
+  if (er == erefNIL) {
+    return db_MISSING;
+  }
+  e = eref_get(er);
+  if (e.j == MGR) {
+    return db_BADRANGE;
+  }
+  if (!erc_delete(db_bucket(e.gen, e.j), er)) {
+    return db_MISSING;
+  }
+  e.j = MGR;
+  eref_assign(er, e);
+  erc_insert(db_bucket(e.gen, e.j), er);
+  return db_OK;
+}
+
+db_status db_setSalary(int ssNum, int salary)
+{
+  eref er = db_locate(ssNum);
+  employee e;
+
+  if (er == erefNIL) {
+    return db_MISSING;
+  }
+  if (salary < 0) {
+    return db_BADRANGE;
+  }
+  e = eref_get(er);
+  e.salary = salary;
+  eref_assign(er, e);
+  return db_OK;
+}
+
+int db_query(gender g, job j, int lo, int hi, empset result)
+{
+  erc bucket = db_bucket(g, j);
+  ercElem cur = bucket->vals;
+  employee e;
+  int added = 0;
+
+  while (cur != NULL) {
+    e = eref_get(cur->val);
+    if (e.salary >= lo && e.salary <= hi) {
+      if (empset_insert(result, e)) {
+        added = added + 1;
+      }
+    }
+    cur = cur->next;
+  }
+  return added;
+}
+
+/*@only@*/ char *db_sprint(void)
+{
+  char *result;
+  char *part;
+  size_t total = 1;
+
+  result = (char *) malloc(4096);
+  if (result == NULL) {
+    printf("malloc returned null in db_sprint\n");
+    exit(EXIT_FAILURE);
+  }
+  result[0] = '\0';
+  assert(db_mMgrs != NULL);
+  assert(db_fMgrs != NULL);
+  assert(db_mNon != NULL);
+  assert(db_fNon != NULL);
+  part = erc_sprint(db_mMgrs);
+  strcat(result, part);
+  free(part);
+  part = erc_sprint(db_fMgrs);
+  strcat(result, part);
+  free(part);
+  part = erc_sprint(db_mNon);
+  strcat(result, part);
+  free(part);
+  part = erc_sprint(db_fNon);
+  strcat(result, part);
+  free(part);
+  (void) total;
+  return result;
+}

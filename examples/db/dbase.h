@@ -1,0 +1,15 @@
+#ifndef DBASE_H
+#define DBASE_H
+#include "empset.h"
+
+typedef enum { db_OK, db_DUPLICATE, db_MISSING, db_BADRANGE } db_status;
+
+extern void db_initMod(void);
+extern db_status db_hire(employee e);
+extern db_status db_fire(int ssNum);
+extern db_status db_promote(int ssNum);
+extern db_status db_setSalary(int ssNum, int salary);
+extern int db_query(gender g, job j, int lo, int hi, empset result);
+extern /*@only@*/ char *db_sprint(void);
+
+#endif

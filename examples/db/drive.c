@@ -1,0 +1,73 @@
+#include <stdlib.h>
+#include <stdio.h>
+#include <string.h>
+#include "employee.h"
+#include "eref.h"
+#include "erc.h"
+#include "empset.h"
+#include "dbase.h"
+
+static employee mk_employee(int ssNum, char *name, int salary,
+                            gender g, job j)
+{
+  employee e;
+
+  e.ssNum = ssNum;
+  e.salary = salary;
+  e.gen = g;
+  e.j = j;
+  e.name[0] = '\0';
+  (void) employee_setName(&e, name);
+  return e;
+}
+
+int main(void)
+{
+  empset matches;
+  char *printed;
+  char *summary;
+  int hired = 0;
+  int i;
+
+  db_initMod();
+
+  hired = hired + (db_hire(mk_employee(1, "alice", 60000, FEMALE, MGR)) == db_OK);
+  hired = hired + (db_hire(mk_employee(2, "bob", 40000, MALE, NONMGR)) == db_OK);
+  hired = hired + (db_hire(mk_employee(3, "carol", 70000, FEMALE, MGR)) == db_OK);
+  hired = hired + (db_hire(mk_employee(4, "dave", 30000, MALE, NONMGR)) == db_OK);
+  hired = hired + (db_hire(mk_employee(5, "erin", 50000, FEMALE, NONMGR)) == db_OK);
+  printf("hired %d\n", hired);
+
+  (void) db_promote(5);
+  (void) db_setSalary(2, 45000);
+
+  matches = empset_create();
+  i = db_query(FEMALE, MGR, 0, 100000, matches);
+  printf("query found %d\n", i);
+
+  /* six storage leaks: sprint results overwritten without free (fixed
+     in the final stage) */
+  printed = empset_sprint(matches);
+  printf("%s", printed);
+  free(printed);
+  printed = empset_sprint(matches);
+  printf("%s", printed);
+  free(printed);
+  printed = empset_sprint(matches);
+  printf("%s", printed);
+  free(printed);
+
+  summary = db_sprint();
+  printf("%s", summary);
+  free(summary);
+  summary = db_sprint();
+  printf("%s", summary);
+  free(summary);
+  summary = db_sprint();
+  printf("%s", summary);
+  free(summary);
+
+  (void) db_fire(4);
+  empset_final(matches);
+  return EXIT_SUCCESS;
+}

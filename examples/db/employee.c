@@ -1,0 +1,35 @@
+#include <stdio.h>
+#include <string.h>
+#include "employee.h"
+
+int employee_setName(employee *e, /*@unique@*/ char *na)
+{
+  int i;
+
+  for (i = 0; na[i] != '\0'; i++) {
+    if (i == maxEmployeeName - 1) {
+      return 0;
+    }
+  }
+  strcpy(e->name, na);
+  return 1;
+}
+
+int employee_equal(employee *e1, employee *e2)
+{
+  return (e1->ssNum == e2->ssNum)
+      && (e1->salary == e2->salary)
+      && (e1->gen == e2->gen)
+      && (e1->j == e2->j)
+      && (strcmp(e1->name, e2->name) == 0);
+}
+
+void employee_sprint(/*@out@*/ char *s, employee e)
+{
+  sprintf(s, "%d %s %s %s %d",
+          e.ssNum,
+          e.gen == MALE ? "male" : "female",
+          e.j == MGR ? "manager" : "non-manager",
+          e.name,
+          e.salary);
+}

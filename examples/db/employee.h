@@ -1,0 +1,22 @@
+#ifndef EMPLOYEE_H
+#define EMPLOYEE_H
+
+#define maxEmployeeName 24
+#define employeePrintSize 63
+
+typedef enum { MGR, NONMGR } job;
+typedef enum { MALE, FEMALE } gender;
+
+typedef struct {
+  int ssNum;
+  char name[maxEmployeeName];
+  int salary;
+  gender gen;
+  job j;
+} employee;
+
+extern int employee_setName(employee *e, /*@unique@*/ char *na);
+extern int employee_equal(employee *e1, employee *e2);
+extern void employee_sprint(/*@out@*/ char *s, employee e);
+
+#endif

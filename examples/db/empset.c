@@ -1,0 +1,87 @@
+#include <stdlib.h>
+#include <stdio.h>
+#include <assert.h>
+#include "employee.h"
+#include "eref.h"
+#include "erc.h"
+#include "empset.h"
+
+static eref empset_locate(empset s, employee e)
+{
+  ercElem cur;
+  employee stored;
+
+  assert(s != NULL);
+  cur = s->vals;
+  while (cur != NULL) {
+    stored = eref_get(cur->val);
+    if (employee_equal(&stored, &e)) {
+      return cur->val;
+    }
+    cur = cur->next;
+  }
+  return erefNIL;
+}
+
+/*@only@*/ empset empset_create(void)
+{
+  return erc_create();
+}
+
+void empset_final(/*@only@*/ empset s)
+{
+  erc_final(s);
+}
+
+void empset_clear(empset s)
+{
+  erc_clear(s);
+}
+
+int empset_insert(empset s, employee e)
+{
+  eref er;
+
+  if (empset_locate(s, e) != erefNIL) {
+    return 0;
+  }
+  er = eref_alloc();
+  if (er == erefNIL) {
+    return 0;
+  }
+  eref_assign(er, e);
+  erc_insert(s, er);
+  return 1;
+}
+
+int empset_delete(empset s, employee e)
+{
+  eref er = empset_locate(s, e);
+
+  if (er == erefNIL) {
+    return 0;
+  }
+  eref_free(er);
+  return erc_delete(s, er);
+}
+
+int empset_member(employee e, empset s)
+{
+  return empset_locate(s, e) != erefNIL;
+}
+
+int empset_size(empset s)
+{
+  return erc_size(s);
+}
+
+employee empset_choose(empset s)
+{
+  /* requires empset_size(s) > 0 */
+  return eref_get(erc_choose(s));
+}
+
+/*@only@*/ char *empset_sprint(empset s)
+{
+  return erc_sprint(s);
+}

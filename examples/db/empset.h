@@ -1,0 +1,17 @@
+#ifndef EMPSET_H
+#define EMPSET_H
+#include "erc.h"
+
+typedef erc empset;
+
+extern /*@only@*/ empset empset_create(void);
+extern void empset_final(/*@only@*/ empset s);
+extern void empset_clear(empset s);
+extern int empset_insert(empset s, employee e);
+extern int empset_delete(empset s, employee e);
+extern int empset_member(employee e, empset s);
+extern int empset_size(empset s);
+extern employee empset_choose(empset s);
+extern /*@only@*/ char *empset_sprint(empset s);
+
+#endif

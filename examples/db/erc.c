@@ -1,0 +1,133 @@
+#include <stdlib.h>
+#include <stdio.h>
+#include <string.h>
+#include <assert.h>
+#include "employee.h"
+#include "eref.h"
+#include "erc.h"
+
+static void elems_free(/*@null@*/ /*@only@*/ ercElem e)
+{
+  if (e != NULL) {
+    elems_free(e->next);
+    free(e);
+  }
+}
+
+/*@only@*/ erc erc_create(void)
+{
+  erc c = (erc) malloc(sizeof(*c));
+
+  if (c == NULL) {
+    printf("malloc returned null in erc_create\n");
+    exit(EXIT_FAILURE);
+  }
+
+  c->vals = NULL;
+  c->size = 0;
+  return c;
+}
+
+void erc_clear(erc c)
+{
+  elems_free(c->vals);
+  c->vals = NULL;
+  c->size = 0;
+}
+
+void erc_final(/*@only@*/ erc c)
+{
+  erc_clear(c);
+  free(c);
+}
+
+void erc_insert(erc c, eref er)
+{
+  ercElem e = (ercElem) malloc(sizeof(*e));
+
+  if (e == NULL) {
+    printf("malloc returned null in erc_insert\n");
+    exit(EXIT_FAILURE);
+  }
+  e->val = er;
+  e->next = c->vals;
+  c->vals = e;
+  c->size = c->size + 1;
+}
+
+static /*@null@*/ /*@only@*/ ercElem
+elems_remove(/*@null@*/ /*@only@*/ ercElem e, eref er, int *found)
+{
+  ercElem rest;
+
+  if (e == NULL) {
+    return NULL;
+  }
+  rest = elems_remove(e->next, er, found);
+  if (e->val == er && *found == 0) {
+    *found = 1;
+    free(e);
+    return rest;
+  }
+  e->next = rest;
+  return e;
+}
+
+int erc_delete(erc c, eref er)
+{
+  int found = 0;
+
+  c->vals = elems_remove(c->vals, er, &found);
+  if (found != 0) {
+    c->size = c->size - 1;
+  }
+  return found;
+}
+
+int erc_member(eref er, erc c)
+{
+  ercElem cur = c->vals;
+
+  while (cur != NULL) {
+    if (cur->val == er) {
+      return 1;
+    }
+    cur = cur->next;
+  }
+  return 0;
+}
+
+eref erc_choose(erc c)
+{
+  /* requires erc_size(c) > 0 */
+  assert(c->vals != NULL);
+  return c->vals->val;
+}
+
+int erc_size(erc c)
+{
+  return c->size;
+}
+
+/*@only@*/ char *erc_sprint(erc c)
+{
+  ercElem cur;
+  employee e;
+  int offset = 0;
+  char *result = (char *) malloc((size_t) (c->size * (employeePrintSize + 1) + 1));
+
+  if (result == NULL) {
+    printf("malloc returned null in erc_sprint\n");
+    exit(EXIT_FAILURE);
+  }
+  result[0] = '\0';
+  cur = c->vals;
+  while (cur != NULL) {
+    e = eref_get(cur->val);
+    employee_sprint(result + offset, e);
+    strcat(result, "\n");
+    offset = (int) strlen(result);
+    cur = cur->next;
+  }
+  return result;
+}

@@ -1,0 +1,25 @@
+#ifndef ERC_H
+#define ERC_H
+#include "eref.h"
+
+typedef /*@null@*/ struct _elem {
+  eref val;
+  /*@null@*/ /*@only@*/ struct _elem *next;
+} *ercElem;
+
+typedef struct {
+  /*@null@*/ /*@only@*/ ercElem vals;
+  int size;
+} *erc;
+
+extern /*@only@*/ erc erc_create(void);
+extern void erc_clear(erc c);
+extern void erc_final(/*@only@*/ erc c);
+extern void erc_insert(erc c, eref er);
+extern int erc_delete(erc c, eref er);
+extern int erc_member(eref er, erc c);
+extern eref erc_choose(erc c);
+extern int erc_size(erc c);
+extern /*@only@*/ char *erc_sprint(erc c);
+
+#endif

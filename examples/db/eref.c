@@ -1,0 +1,74 @@
+#include <stdlib.h>
+#include <stdio.h>
+#include <assert.h>
+#include "employee.h"
+#include "eref.h"
+
+#define POOLSIZE 16
+
+typedef enum { used, avail } eref_status;
+
+typedef struct {
+  /*@null@*/ /*@only@*/ /*@reldef@*/ employee *conts;
+  /*@null@*/ /*@only@*/ /*@reldef@*/ eref_status *status;
+  int size;
+} eref_pool_t;
+
+static eref_pool_t eref_pool;
+static int pool_initialized = 0;
+
+void eref_initMod(void)
+{
+  int i;
+  employee *nc;
+  eref_status *ns;
+
+  if (pool_initialized) {
+    return;
+  }
+  nc = (employee *) malloc(POOLSIZE * sizeof(employee));
+  ns = (eref_status *) malloc(POOLSIZE * sizeof(eref_status));
+  if (nc == NULL || ns == NULL) {
+    printf("malloc returned null in eref_initMod\n");
+    exit(EXIT_FAILURE);
+  }
+  for (i = 0; i < POOLSIZE; i++) {
+    ns[i] = avail;
+  }
+  eref_pool.conts = nc;
+  eref_pool.status = ns;
+  eref_pool.size = POOLSIZE;
+  pool_initialized = 1;
+}
+
+eref eref_alloc(void)
+{
+  int i;
+
+  assert(eref_pool.status != NULL);
+  for (i = 0; i < eref_pool.size; i++) {
+    if (eref_pool.status[i] == avail) {
+      eref_pool.status[i] = used;
+      return i;
+    }
+  }
+  return erefNIL;
+}
+
+void eref_free(eref er)
+{
+  assert(eref_pool.status != NULL);
+  eref_pool.status[er] = avail;
+}
+
+void eref_assign(eref er, employee e)
+{
+  assert(eref_pool.conts != NULL);
+  eref_pool.conts[er] = e;
+}
+
+employee eref_get(eref er)
+{
+  assert(eref_pool.conts != NULL);
+  return eref_pool.conts[er];
+}

@@ -1,0 +1,15 @@
+#ifndef EREF_H
+#define EREF_H
+#include "employee.h"
+
+typedef int eref;
+
+#define erefNIL (-1)
+
+extern void eref_initMod(void);
+extern eref eref_alloc(void);
+extern void eref_free(eref er);
+extern void eref_assign(eref er, employee e);
+extern employee eref_get(eref er);
+
+#endif

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Checking C code against LCL interface specifications.
+
+"We can use annotations in LCL specifications, or directly in the source
+code as syntactic comments." (paper, section 4) The standard library's
+specs in the paper are written LCL-style — ``null out only void *malloc
+(size_t size)`` — with bare annotation words before the types.
+
+This example writes an ``.lcl`` interface for a tiny string-table
+module, then checks a correct and a buggy implementation against it.
+
+Run with::
+
+    python examples/lcl_specs.py
+"""
+
+from repro import Checker, Flags
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+#: The shared type definitions (a normal header).
+TABLE_H = """
+#ifndef TABLE_H
+#define TABLE_H
+typedef struct _entry {
+  /*@only@*/ char *key;
+  int value;
+} *entry;
+#endif
+"""
+
+#: The interface, in LCL form (bare annotation words, no /*@...@*/).
+TABLE_LCL = """
+#include "table.h"
+
+null out only void *table_alloc (size_t size);
+only entry entry_create (temp char *key, int value);
+void entry_destroy (null only entry e);
+observer char *entry_key (temp entry e);
+"""
+
+GOOD_IMPL = """
+#include <stdlib.h>
+#include <string.h>
+#include "table.h"
+
+entry entry_create (char *key, int value)
+{
+  entry e = (entry) table_alloc(sizeof(*e));
+  char *copy = (char *) table_alloc(strlen(key) + 1);
+  if (e == NULL || copy == NULL) { exit(EXIT_FAILURE); }
+  strcpy(copy, key);
+  e->key = copy;
+  e->value = value;
+  return e;
+}
+
+void entry_destroy (entry e)
+{
+  if (e != NULL) {
+    free(e->key);
+    free(e);
+  }
+}
+"""
+
+BUGGY_IMPL = """
+#include <stdlib.h>
+#include <string.h>
+#include "table.h"
+
+entry entry_create (char *key, int value)
+{
+  entry e = (entry) table_alloc(sizeof(*e));
+  if (e == NULL) { exit(EXIT_FAILURE); }
+  e->key = key;            /* stores the caller's temp string! */
+  e->value = value;
+  return e;
+}
+
+void entry_destroy (entry e)
+{
+  if (e != NULL) {
+    free(e);               /* forgets the owned key */
+  }
+}
+"""
+
+
+def check(label: str, impl: str) -> None:
+    print(f"== {label} ==")
+    checker = Checker(flags=NOIMP)
+    checker.sources.add("table.h", TABLE_H)
+    spec = checker.parse_unit(TABLE_LCL, "table.lcl")
+    body = checker.parse_unit(impl, "table.c")
+    result = checker.check_units([spec, body])
+    if not result.messages:
+        print("clean — implementation satisfies the specification\n")
+        return
+    for message in result.messages:
+        print(message.render())
+    print()
+
+
+def main() -> None:
+    check("correct implementation", GOOD_IMPL)
+    check("buggy implementation", BUGGY_IMPL)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro: reproduction of "Static Detection of Dynamic Memory Errors".
+
+An annotation-based static checker for C memory errors (Evans, PLDI
+1996), with a from-scratch C frontend, the LCLint storage-model analysis,
+an annotated standard library, and a run-time checking baseline.
+"""
+
+from .core.api import CheckResult, Checker, check_files, check_source
+from .flags.registry import FLAG_REGISTRY, Flags
+from .messages.message import Message, MessageCode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckResult",
+    "Checker",
+    "check_files",
+    "check_source",
+    "Flags",
+    "FLAG_REGISTRY",
+    "Message",
+    "MessageCode",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro`` runs the pylclint command-line driver."""
+
+import sys
+
+from .driver.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

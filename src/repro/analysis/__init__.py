@@ -1,0 +1,30 @@
+"""Static analysis: storage model, state lattices, dataflow, checking."""
+
+from .cfg import CFG, CFGBuilder, build_cfg
+from .checker import CheckContext, FunctionChecker, check_function
+from .engine import TracePoint, TracingChecker, trace_function, trace_source
+from .states import AllocState, DefState, NullState, RefState
+from .storage import AliasMap, Ref, RefBase
+from .store import Store, merge_all
+
+__all__ = [
+    "CFG",
+    "CFGBuilder",
+    "build_cfg",
+    "TracePoint",
+    "TracingChecker",
+    "trace_function",
+    "trace_source",
+    "CheckContext",
+    "FunctionChecker",
+    "check_function",
+    "AllocState",
+    "DefState",
+    "NullState",
+    "RefState",
+    "AliasMap",
+    "Ref",
+    "RefBase",
+    "Store",
+    "merge_all",
+]

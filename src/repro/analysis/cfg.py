@@ -1,0 +1,402 @@
+"""Explicit control-flow graphs under the paper's execution model.
+
+Figure 6 of the paper shows the control flow graph for ``list_addh``
+with numbered execution points. The distinguishing property of LCLint's
+model is that **loops have no back edges**: "The while loop is treated
+identically to an if statement ... This means the analysis can be done
+efficiently without any need to do iteration."
+
+This module builds that graph for any function. The checker itself walks
+the AST structurally (which is equivalent for structured programs), so
+the CFG serves reporting, visualization (``to_dot``), complexity
+statistics for the benchmarks, and as an executable statement of the
+model: every CFG this builder produces is a DAG, which the property
+tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend import cast as A
+from ..frontend.render import render_expr
+from ..frontend.source import Location
+
+
+@dataclass
+class CFGNode:
+    node_id: int
+    kind: str  # 'entry' | 'exit' | 'stmt' | 'decl' | 'branch' | 'merge'
+    label: str
+    location: Location | None = None
+    ast: A.Node | None = None
+
+
+@dataclass
+class CFG:
+    """A per-function control-flow graph (always acyclic)."""
+
+    function: str
+    nodes: list[CFGNode] = field(default_factory=list)
+    edges: list[tuple[int, int, str]] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 1
+
+    def successors(self, node_id: int) -> list[tuple[int, str]]:
+        return [(dst, lbl) for src, dst, lbl in self.edges if src == node_id]
+
+    def predecessors(self, node_id: int) -> list[tuple[int, str]]:
+        return [(src, lbl) for src, dst, lbl in self.edges if dst == node_id]
+
+    def node(self, node_id: int) -> CFGNode:
+        return self.nodes[node_id]
+
+    @property
+    def branch_count(self) -> int:
+        return sum(1 for n in self.nodes if n.kind == "branch")
+
+    @property
+    def merge_count(self) -> int:
+        return sum(1 for n in self.nodes if n.kind == "merge")
+
+    def execution_points(self) -> int:
+        """Number of distinct analysis points (nodes reachable from entry)."""
+        return len(self.reachable())
+
+    def reachable(self) -> set[int]:
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(dst for dst, _ in self.successors(cur))
+        return seen
+
+    def is_acyclic(self) -> bool:
+        """True iff the graph has no cycles (it never should)."""
+        color: dict[int, int] = {}  # 0 unvisited / 1 in-stack / 2 done
+
+        def visit(node_id: int) -> bool:
+            color[node_id] = 1
+            for succ, _ in self.successors(node_id):
+                state = color.get(succ, 0)
+                if state == 1:
+                    return False
+                if state == 0 and not visit(succ):
+                    return False
+            color[node_id] = 2
+            return True
+
+        return all(
+            visit(n.node_id)
+            for n in self.nodes
+            if color.get(n.node_id, 0) == 0
+        )
+
+    def topological_order(self) -> list[int]:
+        order: list[int] = []
+        seen: set[int] = set()
+
+        def visit(node_id: int) -> None:
+            if node_id in seen:
+                return
+            seen.add(node_id)
+            for succ, _ in self.successors(node_id):
+                visit(succ)
+            order.append(node_id)
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+    def path_count(self) -> int:
+        """Number of entry->exit paths (the analysis explores all of them)."""
+        counts: dict[int, int] = {self.exit: 1}
+        for node_id in reversed(self.topological_order()):
+            if node_id in counts:
+                continue
+            succs = self.successors(node_id)
+            counts[node_id] = sum(counts.get(dst, 0) for dst, _ in succs)
+        return counts.get(self.entry, 0)
+
+    def to_dot(self) -> str:
+        lines = [f'digraph "{self.function}" {{']
+        for node in self.nodes:
+            shape = {
+                "entry": "oval", "exit": "oval", "branch": "diamond",
+                "merge": "point",
+            }.get(node.kind, "box")
+            label = node.label.replace('"', '\\"')
+            lines.append(
+                f'  n{node.node_id} [shape={shape}, label="{label}"];'
+            )
+        for src, dst, lbl in self.edges:
+            attr = f' [label="{lbl}"]' if lbl else ""
+            lines.append(f"  n{src} -> n{dst}{attr};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+class CFGBuilder:
+    """Builds the loops-as-ifs CFG for one function definition."""
+
+    def __init__(self, fdef: A.FunctionDef) -> None:
+        self.fdef = fdef
+        self.cfg = CFG(function=fdef.name)
+        self._entry = self._new_node("entry", "Function Entrance", fdef.location)
+        self._exit = self._new_node("exit", "Function Exit", None)
+        self.cfg.entry = self._entry
+        self.cfg.exit = self._exit
+        self._break_targets: list[list[int]] = []
+        self._continue_targets: list[list[int]] = []
+
+    def build(self) -> CFG:
+        last = self._stmt(self.fdef.body, self._entry)
+        if last is not None:
+            self._edge(last, self._exit)
+        return self.cfg
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _new_node(
+        self, kind: str, label: str, location: Location | None,
+        ast: A.Node | None = None,
+    ) -> int:
+        node = CFGNode(len(self.cfg.nodes), kind, label, location, ast)
+        self.cfg.nodes.append(node)
+        return node.node_id
+
+    def _edge(self, src: int | None, dst: int, label: str = "") -> None:
+        if src is not None:
+            self.cfg.edges.append((src, dst, label))
+
+    # -- statement translation ---------------------------------------------------
+    # Each _stmt returns the node id control flows out of, or None if the
+    # statement never completes normally (return/goto/break/continue).
+
+    def _stmt(self, stmt: A.Node, pred: int | None) -> int | None:
+        if pred is None:
+            return None
+        handler = getattr(self, f"_stmt_{type(stmt).__name__.lower()}", None)
+        if handler is not None:
+            return handler(stmt, pred)
+        label = type(stmt).__name__
+        loc = getattr(stmt, "location", None)
+        node = self._new_node("stmt", label, loc, stmt)
+        self._edge(pred, node)
+        return node
+
+    def _stmt_block(self, stmt: A.Block, pred: int | None) -> int | None:
+        cur = pred
+        for item in stmt.items:
+            cur = self._stmt(item, cur)
+            if cur is None:
+                return None
+        return cur
+
+    def _stmt_declaration(self, stmt: A.Declaration, pred: int) -> int:
+        names = ", ".join(d.name for d in stmt.declarators)
+        node = self._new_node("decl", f"decl {names}", stmt.location, stmt)
+        self._edge(pred, node)
+        return node
+
+    def _stmt_exprstmt(self, stmt: A.ExprStmt, pred: int) -> int:
+        node = self._new_node(
+            "stmt", render_expr(stmt.expr), stmt.location, stmt
+        )
+        self._edge(pred, node)
+        return node
+
+    def _stmt_emptystmt(self, stmt: A.EmptyStmt, pred: int) -> int:
+        return pred
+
+    def _stmt_if(self, stmt: A.If, pred: int) -> int | None:
+        branch = self._new_node(
+            "branch", f"if ({render_expr(stmt.cond)})", stmt.location, stmt
+        )
+        self._edge(pred, branch)
+        then_out = self._stmt(stmt.then, branch)
+        if then_out == branch:
+            # guarantee distinct edges for empty branches
+            then_out = self._new_node("stmt", ";", stmt.location)
+            self._edge(branch, then_out)
+        else:
+            self._retag_edge(branch, "true")
+        if stmt.orelse is not None:
+            else_out = self._stmt(stmt.orelse, branch)
+            self._retag_edge(branch, "false")
+        else:
+            else_out = branch
+        if then_out is None and else_out is None:
+            return None
+        merge = self._new_node("merge", "merge", stmt.location)
+        if then_out is not None:
+            self._edge(then_out, merge)
+        if else_out is not None:
+            label = "false" if else_out == branch else ""
+            self._edge(else_out, merge, label)
+        return merge
+
+    def _retag_edge(self, branch: int, label: str) -> None:
+        """Label the most recent edge out of *branch* (true/false arm)."""
+        for i in range(len(self.cfg.edges) - 1, -1, -1):
+            src, dst, lbl = self.cfg.edges[i]
+            if src == branch and not lbl:
+                self.cfg.edges[i] = (src, dst, label)
+                return
+
+    def _loop(self, cond: A.Expr | None, body: A.Stmt, step: A.Expr | None,
+              loc: Location, pred: int) -> int | None:
+        """Common loops-as-ifs translation: no back edge (paper section 2)."""
+        if cond is not None:
+            branch = self._new_node(
+                "branch", f"loop ({render_expr(cond)})", loc, None
+            )
+            self._edge(pred, branch)
+        else:
+            branch = pred
+        self._break_targets.append([])
+        self._continue_targets.append([])
+        body_out = self._stmt(body, branch)
+        if branch != pred:
+            self._retag_edge(branch, "true")
+        continues = self._continue_targets.pop()
+        if step is not None and (body_out is not None or continues):
+            step_node = self._new_node("stmt", render_expr(step), loc)
+            if body_out is not None:
+                self._edge(body_out, step_node)
+            for c in continues:
+                self._edge(c, step_node, "continue")
+            body_out = step_node
+            continues = []
+        breaks = self._break_targets.pop()
+        merge = self._new_node("merge", "loop exit", loc)
+        if cond is not None:
+            if body_out is not None:
+                self._edge(body_out, merge)
+            for c in continues:
+                self._edge(c, merge, "continue")
+            self._edge(branch, merge, "false")
+        elif not breaks:
+            return None  # 'for(;;)': control never leaves the loop
+        for b in breaks:
+            self._edge(b, merge, "break")
+        return merge
+
+    def _stmt_while(self, stmt: A.While, pred: int) -> int | None:
+        return self._loop(stmt.cond, stmt.body, None, stmt.location, pred)
+
+    def _stmt_dowhile(self, stmt: A.DoWhile, pred: int) -> int | None:
+        # do-while under the model: the body runs once, the condition is
+        # tested, and control leaves (no back edge).
+        self._break_targets.append([])
+        self._continue_targets.append([])
+        body_out = self._stmt(stmt.body, pred)
+        breaks = self._break_targets.pop()
+        continues = self._continue_targets.pop()
+        merge = self._new_node("merge", "loop exit", stmt.location)
+        feed = body_out
+        if body_out is not None or continues:
+            cond_node = self._new_node(
+                "branch", f"loop ({render_expr(stmt.cond)})", stmt.location
+            )
+            if body_out is not None:
+                self._edge(body_out, cond_node)
+            for c in continues:
+                self._edge(c, cond_node, "continue")
+            self._edge(cond_node, merge, "false")
+            feed = cond_node
+        for b in breaks:
+            self._edge(b, merge, "break")
+        if feed is None and not breaks:
+            return None
+        return merge
+
+    def _stmt_for(self, stmt: A.For, pred: int) -> int | None:
+        cur: int | None = pred
+        if stmt.init is not None:
+            cur = self._stmt(stmt.init, cur)
+        if cur is None:
+            return None
+        return self._loop(stmt.cond, stmt.body, stmt.step, stmt.location, cur)
+
+    def _stmt_switch(self, stmt: A.Switch, pred: int) -> int | None:
+        branch = self._new_node(
+            "branch", f"switch ({render_expr(stmt.cond)})", stmt.location, stmt
+        )
+        self._edge(pred, branch)
+        self._break_targets.append([])
+        self._continue_targets.append([])
+        merge = self._new_node("merge", "switch exit", stmt.location)
+        body = stmt.body
+        has_default = False
+        if isinstance(body, A.Block):
+            cur: int | None = None
+            for item in body.items:
+                if isinstance(item, A.Case):
+                    case_node = self._new_node(
+                        "stmt",
+                        "default:" if item.value is None
+                        else f"case {render_expr(item.value)}:",
+                        item.location, item,
+                    )
+                    if item.value is None:
+                        has_default = True
+                    self._edge(branch, case_node, "case")
+                    if cur is not None:
+                        self._edge(cur, case_node, "fallthrough")
+                    cur = self._stmt(item.body, case_node)
+                else:
+                    cur = self._stmt(item, cur) if cur is not None else None
+            if cur is not None:
+                self._edge(cur, merge)
+        else:
+            out = self._stmt(body, branch)
+            if out is not None:
+                self._edge(out, merge)
+        breaks = self._break_targets.pop()
+        self._continue_targets.pop()
+        for b in breaks:
+            self._edge(b, merge, "break")
+        if not has_default:
+            self._edge(branch, merge, "no case")
+        return merge
+
+    def _stmt_case(self, stmt: A.Case, pred: int) -> int | None:
+        return self._stmt(stmt.body, pred)
+
+    def _stmt_break(self, stmt: A.Break, pred: int) -> None:
+        if self._break_targets:
+            self._break_targets[-1].append(pred)
+        return None
+
+    def _stmt_continue(self, stmt: A.Continue, pred: int) -> None:
+        if self._continue_targets:
+            self._continue_targets[-1].append(pred)
+        return None
+
+    def _stmt_return(self, stmt: A.Return, pred: int) -> None:
+        label = "return" if stmt.value is None else f"return {render_expr(stmt.value)}"
+        node = self._new_node("stmt", label, stmt.location, stmt)
+        self._edge(pred, node)
+        self._edge(node, self.cfg.exit)
+        return None
+
+    def _stmt_goto(self, stmt: A.Goto, pred: int) -> None:
+        node = self._new_node("stmt", f"goto {stmt.label}", stmt.location, stmt)
+        self._edge(pred, node)
+        # Structured model: gotos leave the graph (no label-resolution edge).
+        return None
+
+    def _stmt_label(self, stmt: A.Label, pred: int | None) -> int | None:
+        node = self._new_node("stmt", f"{stmt.name}:", stmt.location, stmt)
+        if pred is not None:
+            self._edge(pred, node)
+        return self._stmt(stmt.body, node)
+
+
+def build_cfg(fdef: A.FunctionDef) -> CFG:
+    """Build the loops-as-ifs control-flow graph for a function."""
+    return CFGBuilder(fdef).build()

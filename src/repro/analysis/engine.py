@@ -1,0 +1,188 @@
+"""Tracing engine: per-point dataflow snapshots (paper section 5).
+
+Section 5 of the paper walks Figure 6's control-flow graph point by
+point, narrating the three dataflow values and the alias sets at each
+numbered execution point ("At point 7, l may alias argl or argl->next").
+:class:`TracingChecker` replays the ordinary checker while recording a
+:class:`TracePoint` after every statement, so that walkthrough can be
+regenerated for any function — used by ``examples/figure6_walkthrough.py``
+and by the deep-fidelity tests that pin the paper's alias sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend import cast as A
+from ..frontend.render import render_expr
+from ..frontend.source import Location
+from .checker import CheckContext, FunctionChecker
+from .states import RefState
+from .storage import Ref
+from .store import Store
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """The analysis state immediately after one statement."""
+
+    index: int
+    location: Location | None
+    label: str
+    unreachable: bool
+    states: dict[str, str] = field(default_factory=dict)
+    aliases: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def state_of(self, name: str) -> str | None:
+        return self.states.get(name)
+
+    def aliases_of(self, name: str) -> tuple[str, ...]:
+        return self.aliases.get(name, ())
+
+    def render(self) -> str:
+        where = f"{self.location}" if self.location else "<entry>"
+        lines = [f"point {self.index} ({where}): {self.label}"]
+        for name in sorted(self.states):
+            line = f"    {name}: {self.states[name]}"
+            if name in self.aliases:
+                line += f"  may alias {{{', '.join(self.aliases[name])}}}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def _label_of(stmt: A.Node) -> str:
+    if isinstance(stmt, A.ExprStmt):
+        return render_expr(stmt.expr)
+    if isinstance(stmt, A.Declaration):
+        names = ", ".join(d.name for d in stmt.declarators)
+        return f"decl {names}"
+    if isinstance(stmt, A.If):
+        return f"if ({render_expr(stmt.cond)})"
+    if isinstance(stmt, A.While):
+        return f"while ({render_expr(stmt.cond)})"
+    if isinstance(stmt, A.For):
+        return "for (...)"
+    if isinstance(stmt, A.Return):
+        value = f" {render_expr(stmt.value)}" if stmt.value else ""
+        return f"return{value}"
+    return type(stmt).__name__
+
+
+class TracingChecker(FunctionChecker):
+    """A FunctionChecker that records a trace point per statement."""
+
+    def __init__(self, ctx: CheckContext, fdef: A.FunctionDef) -> None:
+        super().__init__(ctx, fdef)
+        self.trace: list[TracePoint] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def _snapshot(self, store: Store, label: str,
+                  location: Location | None) -> None:
+        states: dict[str, str] = {}
+        aliases: dict[str, tuple[str, ...]] = {}
+        for ref, state in store.states.items():
+            if ref.base.kind not in ("local", "arg", "global"):
+                continue
+            name = self._trace_name(ref)
+            states[name] = self._describe_state(state)
+            alias_set = store.aliases.aliases_of(ref)
+            if alias_set:
+                aliases[name] = tuple(
+                    sorted(self._trace_name(a) for a in alias_set)
+                )
+        self.trace.append(
+            TracePoint(
+                index=len(self.trace),
+                location=location,
+                label=label,
+                unreachable=store.unreachable,
+                states=states,
+                aliases=aliases,
+            )
+        )
+
+    def _trace_name(self, ref: Ref) -> str:
+        """Paper-style names: the external view of parameter i is 'argN'."""
+        if ref.base.kind == "arg":
+            text = f"arg{ref.base.index + 1}"
+            for kind, fieldname in ref.path:
+                if kind == "arrow":
+                    text += f"->{fieldname}"
+                elif kind == "dot":
+                    text += f".{fieldname}"
+                elif kind == "deref":
+                    text = f"*{text}"
+            return text
+        return self.describe_ref(ref)
+
+    @staticmethod
+    def _describe_state(state: RefState) -> str:
+        return (
+            f"{state.definition.value} / {state.null.value} / "
+            f"{state.alloc.value}"
+        )
+
+    # -- hooks ---------------------------------------------------------------
+
+    def entry_store(self) -> Store:
+        store = super().entry_store()
+        self._snapshot(store, "Function Entrance", self.fdef.location)
+        return store
+
+    def exec_stmt(self, stmt: A.Node, store: Store) -> Store:
+        out = super().exec_stmt(stmt, store)
+        if not isinstance(stmt, (A.Block, A.EmptyStmt)):
+            self._snapshot(
+                out, _label_of(stmt), getattr(stmt, "location", None)
+            )
+        return out
+
+    def check(self) -> None:
+        super().check()
+        # final point: function exit
+        if self.trace:
+            last = self.trace[-1]
+            self.trace.append(
+                TracePoint(
+                    index=len(self.trace),
+                    location=self.fdef.body.end_location,
+                    label="Function Exit",
+                    unreachable=last.unreachable,
+                    states=dict(last.states),
+                    aliases=dict(last.aliases),
+                )
+            )
+
+
+def trace_function(ctx: CheckContext, fdef: A.FunctionDef) -> list[TracePoint]:
+    """Run the checker over *fdef*, returning its execution-point trace."""
+    checker = TracingChecker(ctx, fdef)
+    checker.check()
+    return checker.trace
+
+
+def trace_source(source: str, function: str | None = None, flags=None):
+    """Convenience: trace a function in a source string.
+
+    Returns ``(trace, messages)``.
+    """
+    from ..core.api import Checker
+    from ..messages.reporter import Reporter
+
+    checker = Checker(flags=flags)
+    parsed = checker.parse_unit(source, "<trace>")
+    result = checker.check_units([parsed])  # ordinary full check
+    assert result.symtab is not None
+    fdefs = parsed.unit.functions()
+    if function is not None:
+        fdefs = [f for f in fdefs if f.name == function]
+    if not fdefs:
+        raise ValueError(f"no function {function!r} in the source")
+    reporter = Reporter(flags=checker.flags)
+    ctx = CheckContext(
+        symtab=result.symtab, reporter=reporter, flags=checker.flags,
+        enum_consts=parsed.enum_consts,
+    )
+    trace = trace_function(ctx, fdefs[0])
+    return trace, reporter.sorted_messages()

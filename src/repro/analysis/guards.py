@@ -1,0 +1,137 @@
+"""Null-guard recognition (paper section 4, Figures 2 and 3).
+
+"Code can check that a possibly-null pointer is not null by using a
+simple comparison (e.g., ``x != NULL``) or a function call" annotated
+``truenull`` (returns true iff the argument is null) or ``falsenull``
+(returns true only if the argument is not null).
+
+:func:`split_condition` produces the per-branch null-state refinements
+for a condition expression, handling ``!``, ``&&``, ``||``, comparisons
+against NULL, bare pointer tests, and truenull/falsenull predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend import cast as A
+from .states import NullState
+from .storage import Ref
+
+
+@dataclass
+class GuardFacts:
+    """Null-state refinements to apply on one branch of a condition."""
+
+    facts: dict[Ref, NullState] = field(default_factory=dict)
+
+    def add(self, ref: Ref, state: NullState) -> None:
+        existing = self.facts.get(ref)
+        if existing is None or state is NullState.NOTNULL:
+            self.facts[ref] = state
+
+    def merge_and(self, other: "GuardFacts") -> "GuardFacts":
+        out = GuardFacts(dict(self.facts))
+        for ref, st in other.facts.items():
+            out.add(ref, st)
+        return out
+
+    @staticmethod
+    def empty() -> "GuardFacts":
+        return GuardFacts()
+
+
+def is_null_literal(expr: A.Expr) -> bool:
+    """Recognize NULL: literal 0, '\\0', or a cast of one to a pointer."""
+    if isinstance(expr, A.IntLit):
+        return expr.value == 0
+    if isinstance(expr, A.CharLit):
+        return expr.value == 0
+    if isinstance(expr, A.Cast):
+        return is_null_literal(expr.operand)
+    return False
+
+
+class GuardAnalyzer:
+    """Computes (true-branch, false-branch) refinements for a condition.
+
+    The analyzer needs two capabilities from its host checker: resolving
+    an expression to a reference, and recognizing truenull/falsenull
+    predicate calls. Both are passed in as callables so this module stays
+    free of checker dependencies.
+    """
+
+    def __init__(self, resolve_ref, null_predicate) -> None:
+        self._resolve_ref = resolve_ref        # (expr) -> Ref | None
+        self._null_predicate = null_predicate  # (name) -> 'truenull'|'falsenull'|None
+
+    def split(self, cond: A.Expr) -> tuple[GuardFacts, GuardFacts]:
+        true_facts = GuardFacts.empty()
+        false_facts = GuardFacts.empty()
+        self._walk(cond, true_facts, false_facts, negated=False)
+        return true_facts, false_facts
+
+    def _walk(
+        self,
+        expr: A.Expr,
+        true_facts: GuardFacts,
+        false_facts: GuardFacts,
+        negated: bool,
+    ) -> None:
+        if negated:
+            true_facts, false_facts = false_facts, true_facts
+
+        if isinstance(expr, A.Unary) and expr.op == "!":
+            self._walk(expr.operand, false_facts, true_facts, negated=False)
+            return
+
+        if isinstance(expr, A.Binary) and expr.op == "&&":
+            # Both conjunct's true-facts hold on the true branch; the false
+            # branch learns nothing (either side may have failed).
+            lhs_t, _ = self.split(expr.lhs)
+            rhs_t, _ = self.split(expr.rhs)
+            for ref, st in lhs_t.merge_and(rhs_t).facts.items():
+                true_facts.add(ref, st)
+            return
+
+        if isinstance(expr, A.Binary) and expr.op == "||":
+            # Both disjunct's false-facts hold on the false branch.
+            _, lhs_f = self.split(expr.lhs)
+            _, rhs_f = self.split(expr.rhs)
+            for ref, st in lhs_f.merge_and(rhs_f).facts.items():
+                false_facts.add(ref, st)
+            return
+
+        if isinstance(expr, A.Binary) and expr.op in ("==", "!="):
+            ptr_side: A.Expr | None = None
+            if is_null_literal(expr.rhs):
+                ptr_side = expr.lhs
+            elif is_null_literal(expr.lhs):
+                ptr_side = expr.rhs
+            if ptr_side is not None:
+                ref = self._resolve_ref(ptr_side)
+                if ref is not None:
+                    if expr.op == "==":  # (p == NULL): true => null
+                        true_facts.add(ref, NullState.ISNULL)
+                        false_facts.add(ref, NullState.NOTNULL)
+                    else:  # (p != NULL): true => not null
+                        true_facts.add(ref, NullState.NOTNULL)
+                        false_facts.add(ref, NullState.ISNULL)
+            return
+
+        if isinstance(expr, A.Call) and isinstance(expr.func, A.Ident) and expr.args:
+            kind = self._null_predicate(expr.func.name)
+            ref = self._resolve_ref(expr.args[0])
+            if kind is not None and ref is not None:
+                if kind == "truenull":  # returns true iff argument is null
+                    true_facts.add(ref, NullState.ISNULL)
+                    false_facts.add(ref, NullState.NOTNULL)
+                else:  # falsenull: returns true only if argument is not null
+                    true_facts.add(ref, NullState.NOTNULL)
+            return
+
+        # Bare expression used as a truth value: 'if (p)'.
+        ref = self._resolve_ref(expr)
+        if ref is not None:
+            true_facts.add(ref, NullState.NOTNULL)
+            false_facts.add(ref, NullState.ISNULL)

@@ -1,0 +1,170 @@
+"""The abstract store: dataflow values per reference, per program point.
+
+The store maps :class:`~repro.analysis.storage.Ref` to
+:class:`~repro.analysis.states.RefState` and carries the may-alias map.
+States for derived references (``l->next->this``) are *materialized
+lazily* from the parent's state plus the declared annotations of the
+field being accessed — this is how, at Figure 5's function entry, the
+analysis knows ``l->next`` is possibly-null and ``only`` without ever
+having seen an assignment to it.
+
+Branches copy the store; confluence points merge stores pairwise,
+reporting anomalies for states that cannot be sensibly combined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from .states import AllocState, DefState, MergeAnomaly, RefState
+from .storage import AliasMap, Ref
+
+
+class StateEnv(Protocol):
+    """Environment giving the store declared-interface defaults."""
+
+    def base_default(self, ref: Ref) -> RefState:
+        """Entry state for an un-materialized base reference."""
+        ...  # pragma: no cover
+
+    def derived_default(self, ref: Ref, parent: RefState) -> RefState:
+        """Entry state for a derived reference given its parent's state."""
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    ref: Ref
+    anomaly: MergeAnomaly
+
+
+class Store:
+    """One program point's abstract state."""
+
+    def __init__(self, env: StateEnv) -> None:
+        self.env = env
+        self.states: dict[Ref, RefState] = {}
+        self.aliases = AliasMap()
+        self.unreachable = False  # after return/break/continue/exit()
+        # Where a reference last acquired a noteworthy state: keys are
+        # (ref, kind) with kind in {'null', 'fresh', 'release'}; used for
+        # the indented sub-locations in messages (paper footnote 3).
+        self.sites: dict[tuple[Ref, str], object] = {}
+
+    # -- copying -------------------------------------------------------------
+
+    def copy(self) -> "Store":
+        clone = Store(self.env)
+        clone.states = dict(self.states)
+        clone.aliases = self.aliases.copy()
+        clone.unreachable = self.unreachable
+        clone.sites = dict(self.sites)
+        return clone
+
+    # -- state access ----------------------------------------------------------
+
+    def state(self, ref: Ref) -> RefState:
+        existing = self.states.get(ref)
+        if existing is not None:
+            return existing
+        parent = ref.parent()
+        if parent is None:
+            st = self.env.base_default(ref)
+        else:
+            st = self.env.derived_default(ref, self.state(parent))
+        self.states[ref] = st
+        return st
+
+    def peek(self, ref: Ref) -> RefState | None:
+        """State if materialized, else None (no materialization)."""
+        return self.states.get(ref)
+
+    def set_state(self, ref: Ref, st: RefState) -> None:
+        self.states[ref] = st
+
+    def update(self, ref: Ref, fn: Callable[[RefState], RefState]) -> None:
+        self.set_state(ref, fn(self.state(ref)))
+
+    def update_with_aliases(self, ref: Ref, fn: Callable[[RefState], RefState]) -> None:
+        """Apply a state change to *ref* and everything it may alias."""
+        for target in self.aliases.closure(ref):
+            self.update(target, fn)
+
+    def kill_derived(self, ref: Ref) -> None:
+        """Forget states and aliases of references derived from *ref*.
+
+        Used when *ref* is assigned a new value: ``l = l->next`` must not
+        let the old ``l->next`` state shadow the new one.
+        """
+        for key in [k for k in self.states if ref.is_prefix_of(k)]:
+            del self.states[key]
+        for key in [k for k in list(self.aliases.refs()) if ref.is_prefix_of(k)]:
+            self.aliases.clear(key)
+
+    def materialized(self) -> list[Ref]:
+        return list(self.states)
+
+    # -- merging -----------------------------------------------------------------
+
+    def merge(self, other: "Store") -> tuple["Store", list[MergeReport]]:
+        """Confluence of two branches (paper: union of aliases, per-state
+        combination rules, anomaly + error marker on clashes)."""
+        if self.unreachable and not other.unreachable:
+            return other.copy(), []
+        if other.unreachable and not self.unreachable:
+            return self.copy(), []
+        out = Store(self.env)
+        out.unreachable = self.unreachable and other.unreachable
+        reports: list[MergeReport] = []
+        keys = set(self.states) | set(other.states)
+        for ref in sorted(keys):
+            mine = self.state(ref)
+            theirs = other.state(ref)
+            merged, anomalies = mine.merged(theirs)
+            if anomalies and self._live_side_is_null(ref, mine, theirs, other):
+                # Storage released on one path, while on the other path an
+                # ancestor is definitely NULL: there was never storage to
+                # release there ('if (e != NULL) { free(e->key); ... }').
+                merged = merged.with_definition(DefState.DEAD).with_alloc(
+                    AllocState.DEAD
+                )
+                anomalies = []
+            out.states[ref] = merged
+            for anomaly in anomalies:
+                reports.append(MergeReport(ref, anomaly))
+        out.aliases = self.aliases.merged(other.aliases)
+        out.sites = {**other.sites, **self.sites}
+        return out, reports
+
+    def _live_side_is_null(
+        self, ref: Ref, mine: RefState, theirs: RefState, other: "Store"
+    ) -> bool:
+        """For a released-on-one-path clash on a derived ref, check whether
+        the live side's ancestors are definitely NULL (no storage there)."""
+        if ref.depth == 0:
+            return False
+        dead_here = (
+            mine.definition is DefState.DEAD or mine.alloc is AllocState.DEAD
+        )
+        dead_there = (
+            theirs.definition is DefState.DEAD or theirs.alloc is AllocState.DEAD
+        )
+        if dead_here == dead_there:
+            return False
+        live_store = other if dead_here else self
+        return any(
+            live_store.state(ancestor).null.definitely_null()
+            for ancestor in ref.ancestors()
+        )
+
+
+def merge_all(stores: list[Store]) -> tuple[Store, list[MergeReport]]:
+    """Merge any number of stores (switch confluence, loop exits)."""
+    assert stores, "merge_all requires at least one store"
+    result = stores[0]
+    reports: list[MergeReport] = []
+    for nxt in stores[1:]:
+        result, more = result.merge(nxt)
+        reports.extend(more)
+    return result, reports

@@ -1,0 +1,28 @@
+"""Interface annotations (paper Appendix B)."""
+
+from .kinds import (
+    ANNOTATION_WORDS,
+    EMPTY_ANNOTATIONS,
+    AllocAnn,
+    AnnotationSet,
+    DefAnn,
+    ExposureAnn,
+    IncompatibleAnnotations,
+    NullAnn,
+)
+from .parse import AnnotationBuilder, AnnotationProblem, parse_annotation_words, parse_spec_words
+
+__all__ = [
+    "ANNOTATION_WORDS",
+    "EMPTY_ANNOTATIONS",
+    "AllocAnn",
+    "AnnotationSet",
+    "DefAnn",
+    "ExposureAnn",
+    "IncompatibleAnnotations",
+    "NullAnn",
+    "AnnotationBuilder",
+    "AnnotationProblem",
+    "parse_annotation_words",
+    "parse_spec_words",
+]

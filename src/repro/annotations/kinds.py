@@ -1,0 +1,139 @@
+"""The annotation vocabulary from the paper's Appendix B.
+
+Annotations fall into categories; at most one annotation per category may
+appear on a declaration (the paper: "At most one annotation in any
+category can be used on a given declaration" — violations are static
+errors, reported by :mod:`repro.annotations.parse`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class NullAnn(enum.Enum):
+    """Null-pointer annotations."""
+
+    NULL = "null"          # may have the value NULL
+    NOTNULL = "notnull"    # never NULL (also the unannotated default)
+    RELNULL = "relnull"    # relaxed: assumed non-null at uses, NULL assignable
+
+
+class DefAnn(enum.Enum):
+    """Definition (initialization) annotations."""
+
+    OUT = "out"            # referenced storage need not be defined
+    IN = "in"              # completely defined (the unannotated default)
+    PARTIAL = "partial"    # may have undefined fields; no errors on use
+    RELDEF = "reldef"      # relaxed definition checking
+    UNDEF = "undef"        # global may be undefined before the call
+
+
+class AllocAnn(enum.Enum):
+    """Allocation / ownership annotations."""
+
+    ONLY = "only"              # sole reference; confers release obligation
+    KEEP = "keep"              # like only, but caller may still use it
+    TEMP = "temp"              # no new aliases, no deallocation by callee
+    OWNED = "owned"            # owns storage that dependents may share
+    DEPENDENT = "dependent"    # shares owned storage; must not release
+    SHARED = "shared"          # arbitrarily shared; never deallocated
+    REFCOUNTED = "refcounted"  # reference-counted storage ([3])
+    KILLREF = "killref"        # parameter releases one reference count
+
+
+class ExposureAnn(enum.Enum):
+    """Exposure annotations (return values / parameters of abstract types)."""
+
+    OBSERVER = "observer"  # returned storage must not be modified
+    EXPOSED = "exposed"    # mutable internal storage; may not be deallocated
+
+
+class IncompatibleAnnotations(Exception):
+    """Two annotations of the same category on one declaration."""
+
+    def __init__(self, category: str, first: str, second: str) -> None:
+        super().__init__(
+            f"incompatible annotations: {first!r} and {second!r} "
+            f"(at most one {category} annotation is permitted)"
+        )
+        self.category = category
+        self.first = first
+        self.second = second
+
+
+@dataclass(frozen=True)
+class AnnotationSet:
+    """The annotations attached to one declared entity.
+
+    ``truenull`` / ``falsenull`` apply to function return values and drive
+    the guard recognition of section 4 (Figure 3). ``returned`` marks a
+    parameter the return value may alias. ``unique`` is the strcpy-style
+    no-external-alias constraint of Figure 8.
+    """
+
+    null: NullAnn | None = None
+    definition: DefAnn | None = None
+    alloc: AllocAnn | None = None
+    exposure: ExposureAnn | None = None
+    unique: bool = False
+    returned: bool = False
+    truenull: bool = False
+    falsenull: bool = False
+    names: tuple[str, ...] = field(default=(), compare=False)
+
+    def is_empty(self) -> bool:
+        return (
+            self.null is None
+            and self.definition is None
+            and self.alloc is None
+            and self.exposure is None
+            and not self.unique
+            and not self.returned
+            and not self.truenull
+            and not self.falsenull
+        )
+
+    def merged_under(self, base: "AnnotationSet") -> "AnnotationSet":
+        """Fill unset categories from *base* (typedef-level annotations).
+
+        Declaration-level annotations override typedef-level ones; the
+        paper's ``notnull`` exists exactly to override a typedef ``null``.
+        """
+        return AnnotationSet(
+            null=self.null if self.null is not None else base.null,
+            definition=(
+                self.definition if self.definition is not None else base.definition
+            ),
+            alloc=self.alloc if self.alloc is not None else base.alloc,
+            exposure=self.exposure if self.exposure is not None else base.exposure,
+            unique=self.unique or base.unique,
+            returned=self.returned or base.returned,
+            truenull=self.truenull or base.truenull,
+            falsenull=self.falsenull or base.falsenull,
+            names=tuple(dict.fromkeys(self.names + base.names)),
+        )
+
+    def with_alloc(self, alloc: AllocAnn | None) -> "AnnotationSet":
+        return replace(self, alloc=alloc)
+
+    def with_null(self, null: NullAnn | None) -> "AnnotationSet":
+        return replace(self, null=null)
+
+    def describe(self) -> str:
+        return " ".join(self.names) if self.names else "<none>"
+
+
+EMPTY_ANNOTATIONS = AnnotationSet()
+
+#: Annotation word -> (category name, setter description) used by the parser.
+ANNOTATION_WORDS: dict[str, tuple[str, object]] = {}
+for _enum, _cat in ((NullAnn, "null"), (DefAnn, "definition"),
+                    (AllocAnn, "allocation"), (ExposureAnn, "exposure")):
+    for _member in _enum:
+        ANNOTATION_WORDS[_member.value] = (_cat, _member)
+ANNOTATION_WORDS["unique"] = ("aliasing", "unique")
+ANNOTATION_WORDS["returned"] = ("returned", "returned")
+ANNOTATION_WORDS["truenull"] = ("nullpred", "truenull")
+ANNOTATION_WORDS["falsenull"] = ("nullpred", "falsenull")

@@ -1,0 +1,134 @@
+"""Parsing ``/*@...@*/`` payloads into :class:`AnnotationSet` values.
+
+A payload may contain several whitespace-separated annotation words
+(``/*@null out only@*/`` is equivalent to three separate comments, which
+is how the standard library declares ``malloc``). Unknown words are
+collected as warnings rather than hard errors, mirroring LCLint's
+tolerance of annotations it does not implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package-import cycle
+    from ..frontend.source import Location
+
+from .kinds import (
+    ANNOTATION_WORDS,
+    AllocAnn,
+    AnnotationSet,
+    DefAnn,
+    ExposureAnn,
+    IncompatibleAnnotations,
+    NullAnn,
+)
+
+
+@dataclass(frozen=True)
+class AnnotationProblem:
+    """A statically detectable problem in the annotations themselves."""
+
+    location: Location
+    description: str
+
+
+class AnnotationBuilder:
+    """Accumulates annotation words for one declaration."""
+
+    def __init__(self) -> None:
+        self._null: NullAnn | None = None
+        self._definition: DefAnn | None = None
+        self._alloc: AllocAnn | None = None
+        self._exposure: ExposureAnn | None = None
+        self._unique = False
+        self._returned = False
+        self._truenull = False
+        self._falsenull = False
+        self._names: list[str] = []
+        self.problems: list[AnnotationProblem] = []
+
+    def add_payload(self, payload: str, location: Location) -> None:
+        for word in payload.split():
+            self.add_word(word, location)
+
+    def add_word(self, word: str, location: Location) -> None:
+        entry = ANNOTATION_WORDS.get(word)
+        if entry is None:
+            self.problems.append(
+                AnnotationProblem(location, f"unrecognized annotation {word!r}")
+            )
+            return
+        category, value = entry
+        try:
+            self._apply(category, word, value)
+        except IncompatibleAnnotations as exc:
+            self.problems.append(AnnotationProblem(location, str(exc)))
+            return
+        self._names.append(word)
+
+    def _apply(self, category: str, word: str, value: object) -> None:
+        if category == "null":
+            if self._null is not None and self._null.value != word:
+                raise IncompatibleAnnotations("null", self._null.value, word)
+            self._null = value  # type: ignore[assignment]
+        elif category == "definition":
+            if self._definition is not None and self._definition.value != word:
+                raise IncompatibleAnnotations(
+                    "definition", self._definition.value, word
+                )
+            self._definition = value  # type: ignore[assignment]
+        elif category == "allocation":
+            if self._alloc is not None and self._alloc.value != word:
+                raise IncompatibleAnnotations("allocation", self._alloc.value, word)
+            self._alloc = value  # type: ignore[assignment]
+        elif category == "exposure":
+            if self._exposure is not None and self._exposure.value != word:
+                raise IncompatibleAnnotations("exposure", self._exposure.value, word)
+            self._exposure = value  # type: ignore[assignment]
+        elif category == "aliasing":
+            self._unique = True
+        elif category == "returned":
+            self._returned = True
+        elif category == "nullpred":
+            if word == "truenull":
+                if self._falsenull:
+                    raise IncompatibleAnnotations("nullpred", "falsenull", word)
+                self._truenull = True
+            else:
+                if self._truenull:
+                    raise IncompatibleAnnotations("nullpred", "truenull", word)
+                self._falsenull = True
+
+    def build(self) -> AnnotationSet:
+        return AnnotationSet(
+            null=self._null,
+            definition=self._definition,
+            alloc=self._alloc,
+            exposure=self._exposure,
+            unique=self._unique,
+            returned=self._returned,
+            truenull=self._truenull,
+            falsenull=self._falsenull,
+            names=tuple(self._names),
+        )
+
+
+def parse_annotation_words(
+    payloads: list[tuple[str, Location]],
+) -> tuple[AnnotationSet, list[AnnotationProblem]]:
+    """Parse a sequence of (payload, location) pairs into one set."""
+    builder = AnnotationBuilder()
+    for payload, location in payloads:
+        builder.add_payload(payload, location)
+    return builder.build(), builder.problems
+
+
+def parse_spec_words(spec: str) -> AnnotationSet:
+    """Parse a bare word string (used by the stdlib spec tables)."""
+    builder = AnnotationBuilder()
+    from ..frontend.source import BUILTIN_LOCATION
+
+    builder.add_payload(spec, BUILTIN_LOCATION)
+    return builder.build()

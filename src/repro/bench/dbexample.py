@@ -1,0 +1,866 @@
+"""Reconstruction of the section 6 employee-database example.
+
+The paper's running example is the ~1000-line employee database program
+from the Larch book ([5]); the original sources are not included with
+the paper, so this module reconstructs the program from its published
+description: an ``eref`` pool module backed by allocated arrays inside a
+static variable, an ``erc`` (employee-ref collection) abstraction built
+on a linked list (Figure 7's ``erc_create`` is quoted verbatim), an
+``employee`` module whose ``setName`` is Figure 8, an ``empset`` layer,
+a four-collection database, and a test driver.
+
+Annotations (and a few code fixes: assertions, the driver's six missing
+``free`` calls) are attached to *stages*, reproducing the iterative
+annotation process of section 6:
+
+====== =====================================================================
+stage  meaning
+====== =====================================================================
+0      original program: no annotations, driver leaks present
+1      + null annotations and the defensive assertions they prompted
+2      + the only annotations fixing the seven -allimponly anomalies
+       (two returns, two eref_pool fields, erc_final's parameter, and the
+       propagation pair)
+3      + only annotations from propagation up the call chain
+       (empset, dbase statics, list links)
+4      + the six driver free() fixes, the out parameter, and unique
+====== =====================================================================
+
+``db_sources(stage)`` renders the program at a stage; ``annotation_census``
+reports how many annotations of each kind a stage adds.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Annotation slots: @N:text@ renders as text when stage >= N, else "".
+# The slot text itself contains '@' (annotation comments), so the closing
+# delimiter is found with a scanner: a '@' neither preceded nor followed
+# by '*' (which would make it part of '/*@' or '@*/').
+# Code slots: lines wrapped in %N{ ... }% render only when stage >= N,
+# and %N!{ ... }% renders only when stage < N (for code that is *removed*
+# by a fix, like the driver's leaking re-assignments without free).
+
+_SLOT_OPEN = re.compile(r"@(\d)+:")
+_CODE_ON = re.compile(r"%(\d+)\{(.*?)\}%", re.S)
+_CODE_OFF = re.compile(r"%(\d+)!\{(.*?)\}%", re.S)
+
+FINAL_STAGE = 4
+
+
+def _render_slots(text: str, stage: int) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        match = _SLOT_OPEN.match(text, i)
+        if match is None:
+            out.append(text[i])
+            i += 1
+            continue
+        level = int(match.group(1))
+        j = match.end()
+        while j < len(text):
+            if (
+                text[j] == "@"
+                and (j == 0 or text[j - 1] != "*")
+                and (j + 1 >= len(text) or text[j + 1] != "*")
+            ):
+                break
+            j += 1
+        body = text[match.end() : j]
+        if stage >= level:
+            out.append(body)
+        i = j + 1
+    return "".join(out)
+
+
+def _render(template: str, stage: int) -> str:
+    def code_on(match: re.Match) -> str:
+        return match.group(2) if stage >= int(match.group(1)) else ""
+
+    def code_off(match: re.Match) -> str:
+        return match.group(2) if stage < int(match.group(1)) else ""
+
+    text = _CODE_OFF.sub(code_off, template)
+    text = _CODE_ON.sub(code_on, text)
+    return _render_slots(text, stage)
+
+
+EMPLOYEE_H = """#ifndef EMPLOYEE_H
+#define EMPLOYEE_H
+
+#define maxEmployeeName 24
+#define employeePrintSize 63
+
+typedef enum { MGR, NONMGR } job;
+typedef enum { MALE, FEMALE } gender;
+
+typedef struct {
+  int ssNum;
+  char name[maxEmployeeName];
+  int salary;
+  gender gen;
+  job j;
+} employee;
+
+extern int employee_setName(employee *e, @4:/*@unique@*/ @char *na);
+extern int employee_equal(employee *e1, employee *e2);
+extern void employee_sprint(@4:/*@out@*/ @char *s, employee e);
+
+#endif
+"""
+
+EMPLOYEE_C = """#include <stdio.h>
+#include <string.h>
+#include "employee.h"
+
+int employee_setName(employee *e, @4:/*@unique@*/ @char *na)
+{
+  int i;
+
+  for (i = 0; na[i] != '\\0'; i++) {
+    if (i == maxEmployeeName - 1) {
+      return 0;
+    }
+  }
+  strcpy(e->name, na);
+  return 1;
+}
+
+int employee_equal(employee *e1, employee *e2)
+{
+  return (e1->ssNum == e2->ssNum)
+      && (e1->salary == e2->salary)
+      && (e1->gen == e2->gen)
+      && (e1->j == e2->j)
+      && (strcmp(e1->name, e2->name) == 0);
+}
+
+void employee_sprint(@4:/*@out@*/ @char *s, employee e)
+{
+  sprintf(s, "%d %s %s %s %d",
+          e.ssNum,
+          e.gen == MALE ? "male" : "female",
+          e.j == MGR ? "manager" : "non-manager",
+          e.name,
+          e.salary);
+}
+"""
+
+EREF_H = """#ifndef EREF_H
+#define EREF_H
+#include "employee.h"
+
+typedef int eref;
+
+#define erefNIL (-1)
+
+extern void eref_initMod(void);
+extern eref eref_alloc(void);
+extern void eref_free(eref er);
+extern void eref_assign(eref er, employee e);
+extern employee eref_get(eref er);
+
+#endif
+"""
+
+EREF_C = """#include <stdlib.h>
+#include <stdio.h>
+#include <assert.h>
+#include "employee.h"
+#include "eref.h"
+
+#define POOLSIZE 16
+
+typedef enum { used, avail } eref_status;
+
+typedef struct {
+  @2:/*@null@*/ /*@only@*/ /*@reldef@*/ @employee *conts;
+  @2:/*@null@*/ /*@only@*/ /*@reldef@*/ @eref_status *status;
+  int size;
+} eref_pool_t;
+
+static eref_pool_t eref_pool;
+static int pool_initialized = 0;
+
+void eref_initMod(void)
+{
+  int i;
+  employee *nc;
+  eref_status *ns;
+
+  if (pool_initialized) {
+    return;
+  }
+  nc = (employee *) malloc(POOLSIZE * sizeof(employee));
+  ns = (eref_status *) malloc(POOLSIZE * sizeof(eref_status));
+  if (nc == NULL || ns == NULL) {
+    printf("malloc returned null in eref_initMod\\n");
+    exit(EXIT_FAILURE);
+  }
+  for (i = 0; i < POOLSIZE; i++) {
+    ns[i] = avail;
+  }
+  eref_pool.conts = nc;
+  eref_pool.status = ns;
+  eref_pool.size = POOLSIZE;
+  pool_initialized = 1;
+}
+
+eref eref_alloc(void)
+{
+  int i;
+
+%1{  assert(eref_pool.status != NULL);
+}%  for (i = 0; i < eref_pool.size; i++) {
+    if (eref_pool.status[i] == avail) {
+      eref_pool.status[i] = used;
+      return i;
+    }
+  }
+  return erefNIL;
+}
+
+void eref_free(eref er)
+{
+%1{  assert(eref_pool.status != NULL);
+}%  eref_pool.status[er] = avail;
+}
+
+void eref_assign(eref er, employee e)
+{
+%1{  assert(eref_pool.conts != NULL);
+}%  eref_pool.conts[er] = e;
+}
+
+employee eref_get(eref er)
+{
+%1{  assert(eref_pool.conts != NULL);
+}%  return eref_pool.conts[er];
+}
+"""
+
+ERC_H = """#ifndef ERC_H
+#define ERC_H
+#include "eref.h"
+
+typedef @1:/*@null@*/ @struct _elem {
+  eref val;
+  @3:/*@null@*/ /*@only@*/ @struct _elem *next;
+} *ercElem;
+
+typedef struct {
+  @1:/*@null@*/ @@3:/*@only@*/ @ercElem vals;
+  int size;
+} *erc;
+
+extern @2:/*@only@*/ @erc erc_create(void);
+extern void erc_clear(erc c);
+extern void erc_final(@2:/*@only@*/ @erc c);
+extern void erc_insert(erc c, eref er);
+extern int erc_delete(erc c, eref er);
+extern int erc_member(eref er, erc c);
+extern eref erc_choose(erc c);
+extern int erc_size(erc c);
+extern @2:/*@only@*/ @char *erc_sprint(erc c);
+
+#endif
+"""
+
+ERC_C = """#include <stdlib.h>
+#include <stdio.h>
+#include <string.h>
+#include <assert.h>
+#include "employee.h"
+#include "eref.h"
+#include "erc.h"
+
+static void elems_free(@3:/*@null@*/ /*@only@*/ @ercElem e)
+{
+  if (e != NULL) {
+    elems_free(e->next);
+    free(e);
+  }
+}
+
+@2:/*@only@*/ @erc erc_create(void)
+{
+  erc c = (erc) malloc(sizeof(*c));
+
+  if (c == NULL) {
+    printf("malloc returned null in erc_create\\n");
+    exit(EXIT_FAILURE);
+  }
+
+  c->vals = NULL;
+  c->size = 0;
+  return c;
+}
+
+void erc_clear(erc c)
+{
+  elems_free(c->vals);
+  c->vals = NULL;
+  c->size = 0;
+}
+
+void erc_final(@2:/*@only@*/ @erc c)
+{
+  erc_clear(c);
+  free(c);
+}
+
+void erc_insert(erc c, eref er)
+{
+  ercElem e = (ercElem) malloc(sizeof(*e));
+
+  if (e == NULL) {
+    printf("malloc returned null in erc_insert\\n");
+    exit(EXIT_FAILURE);
+  }
+  e->val = er;
+  e->next = c->vals;
+  c->vals = e;
+  c->size = c->size + 1;
+}
+
+static @3:/*@null@*/ /*@only@*/ @ercElem
+elems_remove(@3:/*@null@*/ /*@only@*/ @ercElem e, eref er, int *found)
+{
+  ercElem rest;
+
+  if (e == NULL) {
+    return NULL;
+  }
+  rest = elems_remove(e->next, er, found);
+  if (e->val == er && *found == 0) {
+    *found = 1;
+    free(e);
+    return rest;
+  }
+  e->next = rest;
+  return e;
+}
+
+int erc_delete(erc c, eref er)
+{
+  int found = 0;
+
+  c->vals = elems_remove(c->vals, er, &found);
+  if (found != 0) {
+    c->size = c->size - 1;
+  }
+  return found;
+}
+
+int erc_member(eref er, erc c)
+{
+  ercElem cur = c->vals;
+
+  while (cur != NULL) {
+    if (cur->val == er) {
+      return 1;
+    }
+    cur = cur->next;
+  }
+  return 0;
+}
+
+eref erc_choose(erc c)
+{
+  /* requires erc_size(c) > 0 */
+%1{  assert(c->vals != NULL);
+}%  return c->vals->val;
+}
+
+int erc_size(erc c)
+{
+  return c->size;
+}
+
+@2:/*@only@*/ @char *erc_sprint(erc c)
+{
+  ercElem cur;
+  employee e;
+  int offset = 0;
+  char *result = (char *) malloc((size_t) (c->size * (employeePrintSize + 1) + 1));
+
+  if (result == NULL) {
+    printf("malloc returned null in erc_sprint\\n");
+    exit(EXIT_FAILURE);
+  }
+  result[0] = '\\0';
+  cur = c->vals;
+  while (cur != NULL) {
+    e = eref_get(cur->val);
+    employee_sprint(result + offset, e);
+    strcat(result, "\\n");
+    offset = (int) strlen(result);
+    cur = cur->next;
+  }
+  return result;
+}
+"""
+
+EMPSET_H = """#ifndef EMPSET_H
+#define EMPSET_H
+#include "erc.h"
+
+typedef erc empset;
+
+extern @3:/*@only@*/ @empset empset_create(void);
+extern void empset_final(@3:/*@only@*/ @empset s);
+extern void empset_clear(empset s);
+extern int empset_insert(empset s, employee e);
+extern int empset_delete(empset s, employee e);
+extern int empset_member(employee e, empset s);
+extern int empset_size(empset s);
+extern employee empset_choose(empset s);
+extern @3:/*@only@*/ @char *empset_sprint(empset s);
+
+#endif
+"""
+
+EMPSET_C = """#include <stdlib.h>
+#include <stdio.h>
+#include <assert.h>
+#include "employee.h"
+#include "eref.h"
+#include "erc.h"
+#include "empset.h"
+
+static eref empset_locate(empset s, employee e)
+{
+  ercElem cur;
+  employee stored;
+
+%1{  assert(s != NULL);
+}%  cur = s->vals;
+  while (cur != NULL) {
+    stored = eref_get(cur->val);
+    if (employee_equal(&stored, &e)) {
+      return cur->val;
+    }
+    cur = cur->next;
+  }
+  return erefNIL;
+}
+
+@3:/*@only@*/ @empset empset_create(void)
+{
+  return erc_create();
+}
+
+void empset_final(@3:/*@only@*/ @empset s)
+{
+  erc_final(s);
+}
+
+void empset_clear(empset s)
+{
+  erc_clear(s);
+}
+
+int empset_insert(empset s, employee e)
+{
+  eref er;
+
+  if (empset_locate(s, e) != erefNIL) {
+    return 0;
+  }
+  er = eref_alloc();
+  if (er == erefNIL) {
+    return 0;
+  }
+  eref_assign(er, e);
+  erc_insert(s, er);
+  return 1;
+}
+
+int empset_delete(empset s, employee e)
+{
+  eref er = empset_locate(s, e);
+
+  if (er == erefNIL) {
+    return 0;
+  }
+  eref_free(er);
+  return erc_delete(s, er);
+}
+
+int empset_member(employee e, empset s)
+{
+  return empset_locate(s, e) != erefNIL;
+}
+
+int empset_size(empset s)
+{
+  return erc_size(s);
+}
+
+employee empset_choose(empset s)
+{
+  /* requires empset_size(s) > 0 */
+  return eref_get(erc_choose(s));
+}
+
+@3:/*@only@*/ @char *empset_sprint(empset s)
+{
+  return erc_sprint(s);
+}
+"""
+
+DBASE_H = """#ifndef DBASE_H
+#define DBASE_H
+#include "empset.h"
+
+typedef enum { db_OK, db_DUPLICATE, db_MISSING, db_BADRANGE } db_status;
+
+extern void db_initMod(void);
+extern db_status db_hire(employee e);
+extern db_status db_fire(int ssNum);
+extern db_status db_promote(int ssNum);
+extern db_status db_setSalary(int ssNum, int salary);
+extern int db_query(gender g, job j, int lo, int hi, empset result);
+extern @3:/*@only@*/ @char *db_sprint(void);
+
+#endif
+"""
+
+DBASE_C = """#include <stdlib.h>
+#include <stdio.h>
+#include <string.h>
+#include <assert.h>
+#include "employee.h"
+#include "eref.h"
+#include "erc.h"
+#include "empset.h"
+#include "dbase.h"
+
+static @1:/*@null@*/ @@3:/*@only@*/ @erc db_mMgrs;
+static @1:/*@null@*/ @@3:/*@only@*/ @erc db_fMgrs;
+static @1:/*@null@*/ @@3:/*@only@*/ @erc db_mNon;
+static @1:/*@null@*/ @@3:/*@only@*/ @erc db_fNon;
+
+static @3:/*@dependent@*/ @erc db_bucket(gender g, job j)
+{
+  if (g == MALE) {
+    if (j == MGR) {
+%1{      assert(db_mMgrs != NULL);
+}%      return db_mMgrs;
+    }
+%1{    assert(db_mNon != NULL);
+}%    return db_mNon;
+  }
+  if (j == MGR) {
+%1{    assert(db_fMgrs != NULL);
+}%    return db_fMgrs;
+  }
+%1{  assert(db_fNon != NULL);
+}%  return db_fNon;
+}
+
+static eref db_locate(int ssNum)
+{
+  gender g;
+  job j;
+  erc bucket;
+  ercElem cur;
+  employee e;
+
+  for (g = MALE; g <= FEMALE; g++) {
+    for (j = MGR; j <= NONMGR; j++) {
+      bucket = db_bucket(g, j);
+      cur = bucket->vals;
+      while (cur != NULL) {
+        e = eref_get(cur->val);
+        if (e.ssNum == ssNum) {
+          return cur->val;
+        }
+        cur = cur->next;
+      }
+    }
+  }
+  return erefNIL;
+}
+
+void db_initMod(void)
+{
+  eref_initMod();
+  db_mMgrs = erc_create();
+  db_fMgrs = erc_create();
+  db_mNon = erc_create();
+  db_fNon = erc_create();
+}
+
+db_status db_hire(employee e)
+{
+  if (db_locate(e.ssNum) != erefNIL) {
+    return db_DUPLICATE;
+  }
+  if (e.salary < 0) {
+    return db_BADRANGE;
+  }
+  {
+    eref er = eref_alloc();
+    if (er == erefNIL) {
+      return db_BADRANGE;
+    }
+    eref_assign(er, e);
+    erc_insert(db_bucket(e.gen, e.j), er);
+  }
+  return db_OK;
+}
+
+db_status db_fire(int ssNum)
+{
+  eref er = db_locate(ssNum);
+  employee e;
+
+  if (er == erefNIL) {
+    return db_MISSING;
+  }
+  e = eref_get(er);
+  if (erc_delete(db_bucket(e.gen, e.j), er)) {
+    eref_free(er);
+    return db_OK;
+  }
+  return db_MISSING;
+}
+
+db_status db_promote(int ssNum)
+{
+  eref er = db_locate(ssNum);
+  employee e;
+
+  if (er == erefNIL) {
+    return db_MISSING;
+  }
+  e = eref_get(er);
+  if (e.j == MGR) {
+    return db_BADRANGE;
+  }
+  if (!erc_delete(db_bucket(e.gen, e.j), er)) {
+    return db_MISSING;
+  }
+  e.j = MGR;
+  eref_assign(er, e);
+  erc_insert(db_bucket(e.gen, e.j), er);
+  return db_OK;
+}
+
+db_status db_setSalary(int ssNum, int salary)
+{
+  eref er = db_locate(ssNum);
+  employee e;
+
+  if (er == erefNIL) {
+    return db_MISSING;
+  }
+  if (salary < 0) {
+    return db_BADRANGE;
+  }
+  e = eref_get(er);
+  e.salary = salary;
+  eref_assign(er, e);
+  return db_OK;
+}
+
+int db_query(gender g, job j, int lo, int hi, empset result)
+{
+  erc bucket = db_bucket(g, j);
+  ercElem cur = bucket->vals;
+  employee e;
+  int added = 0;
+
+  while (cur != NULL) {
+    e = eref_get(cur->val);
+    if (e.salary >= lo && e.salary <= hi) {
+      if (empset_insert(result, e)) {
+        added = added + 1;
+      }
+    }
+    cur = cur->next;
+  }
+  return added;
+}
+
+@3:/*@only@*/ @char *db_sprint(void)
+{
+  char *result;
+  char *part;
+  size_t total = 1;
+
+  result = (char *) malloc(4096);
+  if (result == NULL) {
+    printf("malloc returned null in db_sprint\\n");
+    exit(EXIT_FAILURE);
+  }
+  result[0] = '\\0';
+%1{  assert(db_mMgrs != NULL);
+  assert(db_fMgrs != NULL);
+  assert(db_mNon != NULL);
+  assert(db_fNon != NULL);
+}%  part = erc_sprint(db_mMgrs);
+  strcat(result, part);
+%4{  free(part);
+}%  part = erc_sprint(db_fMgrs);
+  strcat(result, part);
+%4{  free(part);
+}%  part = erc_sprint(db_mNon);
+  strcat(result, part);
+%4{  free(part);
+}%  part = erc_sprint(db_fNon);
+  strcat(result, part);
+%4{  free(part);
+}%  (void) total;
+  return result;
+}
+"""
+
+DRIVE_C = """#include <stdlib.h>
+#include <stdio.h>
+#include <string.h>
+#include "employee.h"
+#include "eref.h"
+#include "erc.h"
+#include "empset.h"
+#include "dbase.h"
+
+static employee mk_employee(int ssNum, char *name, int salary,
+                            gender g, job j)
+{
+  employee e;
+
+  e.ssNum = ssNum;
+  e.salary = salary;
+  e.gen = g;
+  e.j = j;
+  e.name[0] = '\\0';
+  (void) employee_setName(&e, name);
+  return e;
+}
+
+int main(void)
+{
+  empset matches;
+  char *printed;
+  char *summary;
+  int hired = 0;
+  int i;
+
+  db_initMod();
+
+  hired = hired + (db_hire(mk_employee(1, "alice", 60000, FEMALE, MGR)) == db_OK);
+  hired = hired + (db_hire(mk_employee(2, "bob", 40000, MALE, NONMGR)) == db_OK);
+  hired = hired + (db_hire(mk_employee(3, "carol", 70000, FEMALE, MGR)) == db_OK);
+  hired = hired + (db_hire(mk_employee(4, "dave", 30000, MALE, NONMGR)) == db_OK);
+  hired = hired + (db_hire(mk_employee(5, "erin", 50000, FEMALE, NONMGR)) == db_OK);
+  printf("hired %d\\n", hired);
+
+  (void) db_promote(5);
+  (void) db_setSalary(2, 45000);
+
+  matches = empset_create();
+  i = db_query(FEMALE, MGR, 0, 100000, matches);
+  printf("query found %d\\n", i);
+
+  /* six storage leaks: sprint results overwritten without free (fixed
+     in the final stage) */
+  printed = empset_sprint(matches);
+%4!{  printed = empset_sprint(matches);
+  printed = empset_sprint(matches);
+}%%4{  printf("%s", printed);
+  free(printed);
+  printed = empset_sprint(matches);
+  printf("%s", printed);
+  free(printed);
+  printed = empset_sprint(matches);
+}%  printf("%s", printed);
+%4{  free(printed);
+}%
+  summary = db_sprint();
+%4!{  summary = db_sprint();
+  summary = db_sprint();
+}%%4{  printf("%s", summary);
+  free(summary);
+  summary = db_sprint();
+  printf("%s", summary);
+  free(summary);
+  summary = db_sprint();
+}%  printf("%s", summary);
+%4{  free(summary);
+}%
+  (void) db_fire(4);
+  empset_final(matches);
+  return EXIT_SUCCESS;
+}
+"""
+
+_TEMPLATES: dict[str, str] = {
+    "employee.h": EMPLOYEE_H,
+    "employee.c": EMPLOYEE_C,
+    "eref.h": EREF_H,
+    "eref.c": EREF_C,
+    "erc.h": ERC_H,
+    "erc.c": ERC_C,
+    "empset.h": EMPSET_H,
+    "empset.c": EMPSET_C,
+    "dbase.h": DBASE_H,
+    "dbase.c": DBASE_C,
+    "drive.c": DRIVE_C,
+}
+
+
+def db_sources(stage: int = FINAL_STAGE) -> dict[str, str]:
+    """Render the database program at an annotation stage (0..4)."""
+    return {name: _render(text, stage) for name, text in _TEMPLATES.items()}
+
+
+@dataclass(frozen=True)
+class AnnotationCensus:
+    null: int
+    only: int
+    out: int
+    unique: int
+    relaxed: int  # relnull / partial / reldef
+
+    @property
+    def total(self) -> int:
+        return self.null + self.only + self.out + self.unique + self.relaxed
+
+
+_ANN_WORD = re.compile(r"/\*@\s*([a-z]+)\s*@\*/")
+
+
+def annotation_census(stage: int = FINAL_STAGE) -> AnnotationCensus:
+    """Count annotations present at a stage (compare with paper's 15).
+
+    Only logical declarations are counted: annotations in headers, plus
+    annotations on file-static declarations in .c files. Annotations
+    repeated on a definition whose prototype is already annotated in the
+    header are the same logical annotation and are not double-counted.
+    """
+    counts = {"null": 0, "only": 0, "out": 0, "unique": 0, "relaxed": 0}
+    for name, text in db_sources(stage).items():
+        if name.endswith(".h"):
+            countable = text
+        else:
+            countable = "\n".join(
+                line for line in text.split("\n")
+                if line.lstrip().startswith("static")
+            )
+        for word in _ANN_WORD.findall(countable):
+            if word in ("null",):
+                counts["null"] += 1
+            elif word == "only":
+                counts["only"] += 1
+            elif word == "out":
+                counts["out"] += 1
+            elif word == "unique":
+                counts["unique"] += 1
+            elif word in ("relnull", "partial", "reldef", "dependent"):
+                counts["relaxed"] += 1
+    return AnnotationCensus(**counts)

@@ -1,0 +1,255 @@
+"""Bug seeding: programs with known memory errors for detection studies.
+
+The paper's central comparison (sections 1 and 7) is qualitative: static
+checking finds errors on *all* paths without running the program, while
+run-time tools "depend entirely on running the right test cases". This
+module makes that measurable. It generates programs in which each
+scenario function contains exactly one seeded bug of a known kind (or no
+bug), records the ground truth, and provides matchers for deciding
+whether the static checker or the run-time baseline found each one.
+
+The seeded kinds mirror the paper's error catalogue, including the two
+residual classes section 7 says the 1996 tool handled poorly (freeing
+offset pointers, freeing static storage — "LCLint has since been
+improved to detect" them; this reproduction detects both).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from ..messages.message import Message, MessageCode
+from ..runtime.heap import RuntimeEventKind
+from .generator import GeneratedProgram, generate_program
+
+
+class BugKind(enum.Enum):
+    LEAK = "leak"
+    DOUBLE_FREE = "double-free"
+    USE_AFTER_FREE = "use-after-free"
+    NULL_DEREF = "null-dereference"
+    UNINIT_READ = "uninitialized-read"
+    STATIC_FREE = "static-free"
+    OFFSET_FREE = "offset-free"
+
+
+#: Static message codes that count as detecting each bug kind.
+STATIC_SIGNATURES: dict[BugKind, set[MessageCode]] = {
+    BugKind.LEAK: {MessageCode.LEAK_SCOPE, MessageCode.LEAK_OVERWRITE,
+                   MessageCode.LEAK_RESULT},
+    BugKind.DOUBLE_FREE: {MessageCode.USE_AFTER_RELEASE},
+    BugKind.USE_AFTER_FREE: {MessageCode.USE_AFTER_RELEASE},
+    BugKind.NULL_DEREF: {MessageCode.NULL_DEREF},
+    BugKind.UNINIT_READ: {MessageCode.USE_BEFORE_DEF},
+    BugKind.STATIC_FREE: {MessageCode.BAD_TRANSFER},
+    BugKind.OFFSET_FREE: {MessageCode.BAD_TRANSFER},
+}
+
+#: Runtime event kinds that count as detecting each bug kind.
+RUNTIME_SIGNATURES: dict[BugKind, set[RuntimeEventKind]] = {
+    BugKind.LEAK: {RuntimeEventKind.LEAK},
+    BugKind.DOUBLE_FREE: {RuntimeEventKind.DOUBLE_FREE,
+                          RuntimeEventKind.USE_AFTER_FREE},
+    BugKind.USE_AFTER_FREE: {RuntimeEventKind.USE_AFTER_FREE},
+    BugKind.NULL_DEREF: {RuntimeEventKind.NULL_DEREF},
+    BugKind.UNINIT_READ: {RuntimeEventKind.UNINIT_READ},
+    BugKind.STATIC_FREE: {RuntimeEventKind.INVALID_FREE},
+    BugKind.OFFSET_FREE: {RuntimeEventKind.INVALID_FREE},
+}
+
+
+@dataclass(frozen=True)
+class SeededBug:
+    bug_id: int
+    kind: BugKind
+    scenario: str  # function name containing the bug
+    file: str
+
+
+@dataclass
+class SeededProgram:
+    program: GeneratedProgram
+    bugs: list[SeededBug] = field(default_factory=list)
+    clean_scenarios: list[str] = field(default_factory=list)
+
+    @property
+    def scenarios(self) -> list[str]:
+        return [b.scenario for b in self.bugs] + list(self.clean_scenarios)
+
+
+def _bug_body(kind: BugKind, module: int, name: str) -> tuple[str, str]:
+    """Return (helper declarations, scenario body) for one bug kind."""
+    rec = f"rec{module}"
+    helpers = ""
+    if kind is BugKind.LEAK:
+        body = f"""
+  {rec} head = {rec}_create("leaked", 3);
+  head = {rec}_push(head, "more", 4);
+  printf("{name}: %d\\n", {rec}_total(head));
+"""
+    elif kind is BugKind.DOUBLE_FREE:
+        body = f"""
+  {rec} head = {rec}_create("twice", 5);
+  printf("{name}: %d\\n", {rec}_total(head));
+  {rec}_destroy(head);
+  {rec}_destroy(head);
+"""
+    elif kind is BugKind.USE_AFTER_FREE:
+        body = f"""
+  {rec} head = {rec}_create("gone", 7);
+  {rec}_destroy(head);
+  printf("{name}: %d\\n", {rec}_total(head));
+"""
+    elif kind is BugKind.NULL_DEREF:
+        helpers = f"""
+static /*@null@*/ /*@only@*/ {rec} maybe_{name}(int n)
+{{
+  if (n > 0) {{
+    return {rec}_create("maybe", n);
+  }}
+  return NULL;
+}}
+"""
+        body = f"""
+  {rec} r = maybe_{name}(-1);
+  printf("{name}: %d\\n", r->count);
+  {rec}_destroy(r);
+"""
+    elif kind is BugKind.UNINIT_READ:
+        body = f"""
+  struct _rec{module} local;
+  int t;
+  t = local.count;
+  printf("{name}: %d\\n", t);
+"""
+    elif kind is BugKind.STATIC_FREE:
+        body = f"""
+  char *msg = "immortal";
+  printf("{name}: %s\\n", msg);
+  free(msg);
+"""
+    elif kind is BugKind.OFFSET_FREE:
+        body = f"""
+  char *buf = (char *) malloc(16);
+  if (buf == NULL) {{ exit(EXIT_FAILURE); }}
+  buf[0] = 'a';
+  buf[1] = 0;
+  printf("{name}: %s\\n", buf);
+  free(buf + 1);
+"""
+    else:  # pragma: no cover
+        raise ValueError(kind)
+    return helpers, body
+
+
+def _clean_body(module: int, name: str, count: int) -> str:
+    rec = f"rec{module}"
+    return f"""
+  {rec} head = {rec}_create("clean", {count});
+  head = {rec}_push(head, "ok", {count + 1});
+  printf("{name}: %d\\n", {rec}_total(head));
+  {rec}_destroy(head);
+"""
+
+
+def generate_seeded_program(
+    modules: int = 3,
+    bugs_per_kind: int = 2,
+    clean_scenarios: int = 6,
+    kinds: list[BugKind] | None = None,
+    seed: int = 20260704,
+) -> SeededProgram:
+    """A generated program plus scenario functions with seeded bugs.
+
+    Every scenario is an independent entry point, so a 'test suite' is a
+    subset of scenarios to execute — which is exactly the knob the
+    static-vs-runtime experiment turns.
+    """
+    rng = random.Random(seed)
+    base = generate_program(modules=modules, filler_functions=2,
+                            scenarios_per_module=0, seed=seed)
+    kinds = kinds or list(BugKind)
+    files = dict(base.files)
+    bugs: list[SeededBug] = []
+    clean: list[str] = []
+
+    parts = ['#include <stdlib.h>\n#include <stdio.h>\n#include "util.h"\n']
+    for i in range(modules):
+        parts.append(f'#include "rec{i}.h"\n')
+
+    bug_id = 0
+    scenario_names: list[str] = []
+    for kind in kinds:
+        for k in range(bugs_per_kind):
+            module = rng.randrange(modules)
+            name = f"scenario_{kind.value.replace('-', '_')}_{k}"
+            helpers, body = _bug_body(kind, module, name)
+            parts.append(helpers)
+            parts.append(f"void {name}(void)\n{{{body}}}\n")
+            bugs.append(SeededBug(bug_id, kind, name, "seeded.c"))
+            scenario_names.append(name)
+            bug_id += 1
+    for k in range(clean_scenarios):
+        module = rng.randrange(modules)
+        name = f"scenario_clean_{k}"
+        parts.append(f"void {name}(void)\n{{{_clean_body(module, name, k)}}}\n")
+        clean.append(name)
+        scenario_names.append(name)
+
+    calls = "\n".join(f"  {n}();" for n in scenario_names)
+    parts.append(f"int main(void)\n{{\n{calls}\n  return 0;\n}}\n")
+    files["seeded.c"] = "\n".join(parts)
+
+    program = GeneratedProgram(
+        files, modules, base.functions + len(scenario_names) + 1,
+        scenario_names,
+    )
+    return SeededProgram(program, bugs, clean)
+
+
+# ---------------------------------------------------------------------------
+# detection matching
+# ---------------------------------------------------------------------------
+
+
+def function_line_ranges(units) -> dict[str, tuple[str, int, int]]:
+    """Map function name -> (file, first line, last line)."""
+    ranges: dict[str, tuple[str, int, int]] = {}
+    for unit in units:
+        for fdef in unit.functions():
+            start = fdef.location.line
+            end = (fdef.body.end_location or fdef.location).line
+            ranges[fdef.name] = (fdef.location.filename, start, end)
+    return ranges
+
+
+def match_static_detections(
+    bugs: list[SeededBug],
+    messages: list[Message],
+    ranges: dict[str, tuple[str, int, int]],
+) -> dict[int, bool]:
+    """Which seeded bugs does a static report cover?"""
+    found: dict[int, bool] = {}
+    for bug in bugs:
+        span = ranges.get(bug.scenario)
+        signature = STATIC_SIGNATURES[bug.kind]
+        hit = False
+        if span is not None:
+            filename, start, end = span
+            for msg in messages:
+                if msg.code not in signature:
+                    continue
+                if msg.location.filename != filename:
+                    continue
+                if start <= msg.location.line <= end + 1:
+                    hit = True
+                    break
+        found[bug.bug_id] = hit
+    return found
+
+
+def match_runtime_detection(bug: SeededBug, events) -> bool:
+    signature = RUNTIME_SIGNATURES[bug.kind]
+    return any(e.kind in signature for e in events)

@@ -1,0 +1,5 @@
+"""Public facade for the static checker."""
+
+from .api import CheckResult, Checker, ParsedUnit, check_files, check_source
+
+__all__ = ["CheckResult", "Checker", "ParsedUnit", "check_files", "check_source"]

@@ -1,0 +1,238 @@
+"""Public checking API (facade over the frontend and the analysis).
+
+Typical use::
+
+    from repro import check_source
+    result = check_source(open("sample.c").read(), name="sample.c")
+    for message in result.messages:
+        print(message.render())
+
+Multi-file programs are checked with :class:`Checker`, which parses every
+unit, merges the interface information into one symbol table (the paper's
+"libraries to store interface information"), and then checks each
+function independently against that merged interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.checker import CheckContext, FunctionChecker
+from ..annotations.parse import AnnotationProblem
+from ..flags.registry import DEFAULT_FLAGS, Flags
+from ..frontend import cast as A
+from ..frontend.parser import Parser
+from ..frontend.preprocessor import Preprocessor
+from ..frontend.source import SourceManager
+from ..frontend.symtab import SymbolTable
+from ..frontend.tokens import Token
+from ..messages.message import Message, MessageCode
+from ..messages.reporter import Reporter
+from ..messages.suppress import SuppressionTable
+from ..stdlib.specs import (
+    PRELUDE_DEFINES,
+    PRELUDE_NAME,
+    PRELUDE_TEXT,
+    SYSTEM_HEADERS,
+)
+
+_PRELUDE_PARSE_CACHE: tuple | None = None
+
+
+def _prelude_parsed() -> tuple:
+    """Parse the standard-library prelude once per process.
+
+    Returns ``(unit, file_scope)``: the prelude's translation unit (its
+    declarations are merged into every symbol table) and the parser file
+    scope holding its typedefs/tags, used to pre-seed user-unit parsers.
+    """
+    global _PRELUDE_PARSE_CACHE
+    if _PRELUDE_PARSE_CACHE is None:
+        manager = SourceManager()
+        prelude_pp = Preprocessor(
+            manager, defines=dict(PRELUDE_DEFINES), system_headers=SYSTEM_HEADERS
+        )
+        toks = prelude_pp.preprocess_text(PRELUDE_TEXT, PRELUDE_NAME)
+        parser = Parser(toks, PRELUDE_NAME)
+        unit = parser.parse_translation_unit()
+        _PRELUDE_PARSE_CACHE = (unit, parser.scope)
+    return _PRELUDE_PARSE_CACHE
+
+
+@dataclass
+class ParsedUnit:
+    unit: A.TranslationUnit
+    controls: list[Token]
+    problems: list[AnnotationProblem]
+    enum_consts: dict[str, int]
+    parse_errors: list = field(default_factory=list)
+
+
+@dataclass
+class CheckResult:
+    """The outcome of a checking run."""
+
+    messages: list[Message]
+    suppressed: int = 0
+    units: list[A.TranslationUnit] = field(default_factory=list)
+    symtab: SymbolTable | None = None
+
+    def render(self) -> str:
+        parts = [m.render() for m in self.messages]
+        parts.append(f"\n{len(self.messages)} code warning(s)")
+        return "\n".join(parts)
+
+    def codes(self) -> list[MessageCode]:
+        return [m.code for m in self.messages]
+
+    def by_code(self) -> dict[MessageCode, list[Message]]:
+        out: dict[MessageCode, list[Message]] = {}
+        for msg in self.messages:
+            out.setdefault(msg.code, []).append(msg)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
+class Checker:
+    """Checks one or more C source files LCLint-style."""
+
+    def __init__(
+        self,
+        flags: Flags | None = None,
+        sources: SourceManager | None = None,
+        defines: dict[str, str] | None = None,
+    ) -> None:
+        self.flags = flags or DEFAULT_FLAGS
+        self.sources = sources or SourceManager()
+        self.defines = dict(PRELUDE_DEFINES)
+        self.defines.update(defines or {})
+        self.base_symtab: SymbolTable | None = None
+
+    # -- interface libraries (paper section 7: modular checking) -----------
+
+    def load_library(self, path: str) -> None:
+        """Merge interface information from a saved library file."""
+        from ..driver.library import load_library, merge_symtabs
+
+        loaded = load_library(path)
+        if self.base_symtab is None:
+            self.base_symtab = SymbolTable()
+        merge_symtabs(self.base_symtab, loaded)
+
+    def save_library(self, result: "CheckResult", path: str) -> None:
+        from ..driver.library import save_library
+
+        assert result.symtab is not None
+        save_library(result.symtab, path)
+
+    # -- parsing ----------------------------------------------------------
+
+    def parse_unit(self, text: str, name: str) -> ParsedUnit:
+        pp = Preprocessor(
+            self.sources, defines=dict(self.defines), system_headers=SYSTEM_HEADERS
+        )
+        _, prelude_scope = _prelude_parsed()
+        toks = pp.preprocess_text(text, name)
+        # .lcl files are LCL interface specifications: annotations appear
+        # as bare words before types (paper section 4).
+        parser = Parser(toks, name, lcl_mode=name.endswith(".lcl"),
+                        preseed=prelude_scope)
+        unit = parser.parse_translation_unit()
+        return ParsedUnit(
+            unit=unit,
+            controls=parser.controls,
+            problems=parser.problems,
+            enum_consts=dict(parser.scope.enum_consts),
+            parse_errors=list(parser.parse_errors),
+        )
+
+    # -- checking -------------------------------------------------------------
+
+    def check_units(self, parsed: list[ParsedUnit]) -> CheckResult:
+        symtab = SymbolTable()
+        prelude_unit, _ = _prelude_parsed()
+        symtab.add_unit(prelude_unit)
+        if self.base_symtab is not None:
+            from ..driver.library import merge_symtabs
+
+            merge_symtabs(symtab, self.base_symtab)
+        enum_consts: dict[str, int] = {}
+        for pu in parsed:
+            symtab.add_unit(pu.unit)
+            enum_consts.update(pu.enum_consts)
+
+        reporter = Reporter(flags=self.flags)
+        for pu in parsed:
+            for problem in pu.problems:
+                reporter.report(
+                    MessageCode.ANNOTATION_PROBLEM, problem.location,
+                    problem.description,
+                )
+            for error in pu.parse_errors:
+                reporter.report(
+                    MessageCode.PARSE_ERROR, error.location,
+                    f"Parse error: {error.args[0].split(': ', 1)[-1]} "
+                    f"(skipped to the next declaration)",
+                )
+
+        ctx = CheckContext(
+            symtab=symtab, reporter=reporter, flags=self.flags,
+            enum_consts=enum_consts,
+        )
+        for pu in parsed:
+            for fdef in pu.unit.functions():
+                FunctionChecker(ctx, fdef).check()
+
+        controls: list[Token] = []
+        for pu in parsed:
+            controls.extend(pu.controls)
+        table = SuppressionTable.from_controls(controls)
+        reporter.apply_suppressions(table)
+
+        return CheckResult(
+            messages=reporter.sorted_messages(),
+            suppressed=reporter.suppressed_count,
+            units=[pu.unit for pu in parsed],
+            symtab=symtab,
+        )
+
+    def check_sources(self, files: dict[str, str]) -> CheckResult:
+        """Check a set of named C sources as one program.
+
+        Header files (``.h``) are registered for ``#include`` resolution;
+        every other entry is parsed and checked as a translation unit.
+        """
+        units: list[ParsedUnit] = []
+        for name, text in files.items():
+            if name.endswith(".h"):
+                self.sources.add(name, text)
+        for name, text in files.items():
+            if not name.endswith(".h"):
+                units.append(self.parse_unit(text, name))
+        return self.check_units(units)
+
+    def check_files(self, paths: list[str]) -> CheckResult:
+        files: dict[str, str] = {}
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                files[path] = handle.read()
+        return self.check_sources(files)
+
+
+def check_source(
+    text: str,
+    name: str = "<string>",
+    flags: Flags | None = None,
+    extra_sources: dict[str, str] | None = None,
+) -> CheckResult:
+    """Check a single C source string; the common entry point."""
+    checker = Checker(flags=flags)
+    for header, contents in (extra_sources or {}).items():
+        checker.sources.add(header, contents)
+    return checker.check_units([checker.parse_unit(text, name)])
+
+
+def check_files(paths: list[str], flags: Flags | None = None) -> CheckResult:
+    return Checker(flags=flags).check_files(paths)

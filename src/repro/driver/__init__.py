@@ -1,0 +1,6 @@
+"""Multi-file checking driver: CLI and interface libraries."""
+
+from .cli import main, run
+from .library import LibraryError, load_library, merge_symtabs, save_library
+
+__all__ = ["main", "run", "LibraryError", "load_library", "merge_symtabs", "save_library"]

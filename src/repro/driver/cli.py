@@ -1,0 +1,198 @@
+"""Command-line driver, usable as ``pylclint`` or ``python -m repro.driver.cli``.
+
+Usage follows LCLint's conventions::
+
+    pylclint [options] file.c [file2.c ...]
+
+    -flagname / +flagname   turn a named check or behaviour off / on
+                            (e.g. -allimponly, +gcmode; see -flags)
+    -dump lib.lcd           write an interface library after checking
+    -load lib.lcd           load interface libraries before checking
+    -dot function           print the control-flow graph in DOT form
+    -trace function         print the per-point dataflow trace (section 5)
+    -stats                  print checking statistics
+    -flags                  list all flags with their defaults
+    -quiet                  suppress the summary line
+
+Header files named on the command line are registered for ``#include``
+resolution; every other file is checked as a translation unit. Exit
+status is the number of code warnings (capped at 125), mirroring batch
+use in build systems.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..analysis.cfg import build_cfg
+from ..flags.registry import FLAG_REGISTRY, Flags, UnknownFlag
+from ..core.api import Checker, CheckResult
+from ..frontend.lexer import LexError
+from ..frontend.parser import ParseError
+from ..frontend.preprocessor import PreprocessError
+
+USAGE = __doc__ or ""
+
+
+class CliError(Exception):
+    pass
+
+
+def _print_flags() -> str:
+    lines = ["flag defaults:"]
+    by_category: dict[str, list] = {}
+    for info in FLAG_REGISTRY.values():
+        by_category.setdefault(info.category, []).append(info)
+    for category in sorted(by_category):
+        lines.append(f"  [{category}]")
+        for info in sorted(by_category[category], key=lambda i: i.name):
+            default = "+" if info.default else "-"
+            lines.append(f"    {default}{info.name:<16} {info.description}")
+    return "\n".join(lines)
+
+
+def run(argv: list[str]) -> tuple[int, str]:
+    """Run the driver; returns (exit_status, output_text)."""
+    paths: list[str] = []
+    flag_args: list[str] = []
+    dump_path: str | None = None
+    load_paths: list[str] = []
+    dot_function: str | None = None
+    trace_function_name: str | None = None
+    want_stats = False
+    quiet = False
+
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg in ("-h", "--help", "-help"):
+            return 0, USAGE
+        if arg == "-flags":
+            return 0, _print_flags()
+        if arg == "-dump":
+            i += 1
+            if i >= len(argv):
+                raise CliError("-dump requires a file argument")
+            dump_path = argv[i]
+        elif arg == "-load":
+            i += 1
+            if i >= len(argv):
+                raise CliError("-load requires a file argument")
+            load_paths.append(argv[i])
+        elif arg == "-dot":
+            i += 1
+            if i >= len(argv):
+                raise CliError("-dot requires a function name")
+            dot_function = argv[i]
+        elif arg == "-trace":
+            i += 1
+            if i >= len(argv):
+                raise CliError("-trace requires a function name")
+            trace_function_name = argv[i]
+        elif arg == "-stats":
+            want_stats = True
+        elif arg == "-quiet":
+            quiet = True
+        elif arg.startswith(("-", "+")) and len(arg) > 1:
+            flag_args.append(arg)
+        else:
+            paths.append(arg)
+        i += 1
+
+    if not paths:
+        raise CliError("no input files (try --help)")
+
+    try:
+        flags = Flags.from_args(flag_args)
+    except UnknownFlag as exc:
+        raise CliError(str(exc)) from exc
+
+    checker = Checker(flags=flags)
+    for lib in load_paths:
+        checker.load_library(lib)
+    try:
+        result = checker.check_files(paths)
+    except (LexError, ParseError, PreprocessError) as exc:
+        raise CliError(f"cannot check input: {exc}") from exc
+    except OSError as exc:
+        raise CliError(str(exc)) from exc
+
+    out: list[str] = []
+    for message in result.messages:
+        out.append(message.render())
+
+    if dot_function is not None:
+        out.append(_dot_for(result, dot_function))
+
+    if trace_function_name is not None:
+        out.append(_trace_for(checker, result, trace_function_name))
+
+    if want_stats:
+        out.append(_stats_for(result))
+
+    if not quiet:
+        out.append(f"{len(result.messages)} code warning(s)")
+
+    if dump_path is not None:
+        checker.save_library(result, dump_path)
+        if not quiet:
+            out.append(f"interface library written to {dump_path}")
+
+    return min(len(result.messages), 125), "\n".join(out)
+
+
+def _trace_for(checker: Checker, result: CheckResult, name: str) -> str:
+    from ..analysis.checker import CheckContext
+    from ..analysis.engine import trace_function
+    from ..messages.reporter import Reporter
+
+    for unit in result.units:
+        for fdef in unit.functions():
+            if fdef.name == name:
+                ctx = CheckContext(
+                    symtab=result.symtab,
+                    reporter=Reporter(flags=checker.flags),
+                    flags=checker.flags,
+                )
+                trace = trace_function(ctx, fdef)
+                return "\n\n".join(point.render() for point in trace)
+    raise CliError(f"no function named {name!r} in the checked files")
+
+
+def _dot_for(result: CheckResult, name: str) -> str:
+    for unit in result.units:
+        for fdef in unit.functions():
+            if fdef.name == name:
+                return build_cfg(fdef).to_dot()
+    raise CliError(f"no function named {name!r} in the checked files")
+
+
+def _stats_for(result: CheckResult) -> str:
+    functions = sum(len(u.functions()) for u in result.units)
+    lines = ["statistics:"]
+    lines.append(f"  translation units: {len(result.units)}")
+    lines.append(f"  functions checked: {functions}")
+    lines.append(f"  messages:          {len(result.messages)}")
+    lines.append(f"  suppressed:        {result.suppressed}")
+    by_code: dict[str, int] = {}
+    for message in result.messages:
+        by_code[message.code.slug] = by_code.get(message.code.slug, 0) + 1
+    for slug in sorted(by_code):
+        lines.append(f"    {slug:<20} {by_code[slug]}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    try:
+        status, output = run(args)
+    except CliError as exc:
+        print(f"pylclint: {exc}", file=sys.stderr)
+        return 2
+    if output:
+        print(output)
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

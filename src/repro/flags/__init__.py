@@ -1,0 +1,5 @@
+"""Flag registry and configuration."""
+
+from .registry import DEFAULT_FLAGS, FLAG_REGISTRY, FlagInfo, Flags, UnknownFlag
+
+__all__ = ["DEFAULT_FLAGS", "FLAG_REGISTRY", "FlagInfo", "Flags", "UnknownFlag"]

@@ -1,0 +1,126 @@
+"""Checker flags (paper sections 2, 3 and 6).
+
+LCLint's behaviour is controlled by named flags that can be set on the
+command line (``-null`` disables null checking, ``+null`` enables it) or
+locally in the source with control comments (``/*@-null@*/ ... /*@+null@*/``).
+This module defines the flag registry and the :class:`Flags` configuration
+object used throughout the checker.
+
+Notable flags from the paper:
+
+* ``allimponly`` — implicit ``only`` annotations on return values, global
+  variables and structure fields (on by default; section 6 runs with
+  ``-allimponly`` for expository purposes).
+* ``gcmode`` — "If LCLint is used to check programs designed for use with
+  a garbage collector, flags can be used to adjust checking so only those
+  errors relevant in a garbage-collected environment are reported."
+* ``strictindex`` — compile-time-unknown array indexes are all the same
+  element (off) or independent elements (on) (section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FlagInfo:
+    name: str
+    default: bool
+    description: str
+    category: str
+
+
+#: Every check class the reporter can filter on, plus behaviour toggles.
+FLAG_REGISTRY: dict[str, FlagInfo] = {}
+
+
+def _register(name: str, default: bool, description: str, category: str) -> None:
+    FLAG_REGISTRY[name] = FlagInfo(name, default, description, category)
+
+
+_register("null", True, "null pointer misuse checking", "null")
+_register("usedef", True, "use-before-definition checking", "definition")
+_register("compdef", True, "complete-definition checking at interfaces", "definition")
+_register("usereleased", True, "use of storage after it is released", "allocation")
+_register("mustfree", True, "obligation-to-release (memory leak) checking", "allocation")
+_register("memtrans", True, "inconsistent memory-annotation transfers", "allocation")
+_register("memimplicit", True, "transfers involving implicitly-annotated storage", "allocation")
+_register("branchstate", True, "inconsistent storage states at branch merges", "allocation")
+_register("aliasunique", True, "unique parameter aliasing checking", "aliasing")
+_register("observertrans", True, "modification of observer storage", "exposure")
+_register("annotations", True, "malformed or incompatible annotations", "annotations")
+_register("syntax", True, "syntax errors (parsing continues at the next declaration)", "annotations")
+_register("paramuse", True, "interface checking of call arguments", "interfaces")
+_register("globstate", True, "global variable state checking at interfaces", "interfaces")
+_register("mods", True, "modification checking against modifies clauses", "interfaces")
+_register("retvalother", False, "ignored non-boolean return values", "interfaces")
+
+_register("allimponly", True,
+          "implicit only on return values, globals and structure fields",
+          "implicit")
+_register("impouts", False, "assume out for unannotated actual out-positions",
+          "implicit")
+_register("gcmode", False, "garbage-collected target: suppress release obligations",
+          "behaviour")
+_register("strictindex", False,
+          "treat unknown array indexes as independent elements", "behaviour")
+_register("deepbreak", False, "analyze loop bodies twice for alias discovery",
+          "behaviour")
+
+
+class UnknownFlag(Exception):
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown flag {name!r} (see repro.flags.FLAG_REGISTRY)")
+        self.name = name
+
+
+@dataclass(frozen=True)
+class Flags:
+    """An immutable flag configuration."""
+
+    values: dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in self.values:
+            if name not in FLAG_REGISTRY:
+                raise UnknownFlag(name)
+
+    def enabled(self, name: str) -> bool:
+        if name not in FLAG_REGISTRY:
+            raise UnknownFlag(name)
+        return self.values.get(name, FLAG_REGISTRY[name].default)
+
+    def with_flag(self, name: str, value: bool) -> "Flags":
+        if name not in FLAG_REGISTRY:
+            raise UnknownFlag(name)
+        merged = dict(self.values)
+        merged[name] = value
+        return Flags(merged)
+
+    # -- convenience accessors used widely by the analysis -----------------
+
+    @property
+    def implicit_only(self) -> bool:
+        return self.enabled("allimponly")
+
+    @property
+    def gc_mode(self) -> bool:
+        return self.enabled("gcmode")
+
+    @staticmethod
+    def from_args(args: list[str]) -> "Flags":
+        """Parse ``-flag`` / ``+flag`` command-line settings.
+
+        Following LCLint's convention, ``-flag`` turns a flag *off* and
+        ``+flag`` turns it *on*.
+        """
+        flags = Flags()
+        for arg in args:
+            if len(arg) < 2 or arg[0] not in "+-":
+                raise UnknownFlag(arg)
+            flags = flags.with_flag(arg[1:], arg[0] == "+")
+        return flags
+
+
+DEFAULT_FLAGS = Flags()

@@ -1,0 +1,310 @@
+"""Abstract syntax tree for the supported C subset.
+
+Nodes are plain dataclasses. Every node carries a source
+:class:`~repro.frontend.source.Location`. Declarations additionally carry
+an :class:`~repro.annotations.kinds.AnnotationSet`, which is how the
+paper's interface assumptions enter the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from .source import Location
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..annotations.kinds import AnnotationSet
+    from .ctypes import CType
+
+
+@dataclass
+class Node:
+    location: Location
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (used by generic walkers)."""
+        for value in self.__dict__.values():
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Pre-order traversal of the subtree rooted at *node*."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    spelling: str = ""
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+    spelling: str = ""
+
+
+@dataclass
+class CharLit(Expr):
+    value: int
+    spelling: str = ""
+
+
+@dataclass
+class StringLit(Expr):
+    value: str  # decoded contents, without quotes
+    spelling: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # one of: * & ! ~ - + ++ -- (prefix), p++ p-- (postfix)
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Assign(Expr):
+    op: str  # '=', '+=', ...
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass
+class Call(Expr):
+    func: Expr
+    args: list[Expr]
+
+
+@dataclass
+class Member(Expr):
+    obj: Expr
+    fieldname: str
+    arrow: bool  # True for '->', False for '.'
+
+
+@dataclass
+class Index(Expr):
+    array: Expr
+    index: Expr
+
+
+@dataclass
+class Cast(Expr):
+    to_type: "CType"
+    operand: Expr
+
+
+@dataclass
+class SizeofExpr(Expr):
+    operand: Expr
+
+
+@dataclass
+class SizeofType(Expr):
+    of_type: "CType"
+
+
+@dataclass
+class Comma(Expr):
+    exprs: list[Expr]
+
+
+@dataclass
+class InitList(Expr):
+    """A brace initializer list: ``{1, 2, 3}``."""
+
+    items: list[Expr]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    items: list[Node] = field(default_factory=list)  # Stmt or Declaration
+    end_location: Location | None = None  # location of the closing brace
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    orelse: Stmt | None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Node | None  # ExprStmt or Declaration
+    cond: Expr | None
+    step: Expr | None
+    body: Stmt
+
+
+@dataclass
+class Switch(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class Case(Stmt):
+    value: Expr | None  # None => default
+    body: Stmt
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass
+class Goto(Stmt):
+    label: str
+
+
+@dataclass
+class Label(Stmt):
+    name: str
+    body: Stmt
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Declarator(Node):
+    """One declared name with its resolved type, annotations, and initializer."""
+
+    name: str
+    ctype: "CType"
+    annotations: "AnnotationSet"
+    init: Expr | None = None
+    globals_list: list["GlobalUse"] = field(default_factory=list)
+    modifies_list: list[str] | None = None  # None => no modifies clause
+
+
+@dataclass
+class Declaration(Node):
+    """A declaration statement: zero or more declarators plus storage class."""
+
+    declarators: list[Declarator]
+    storage: str | None = None  # 'extern', 'static', 'typedef', 'register', 'auto'
+    is_typedef: bool = False
+
+
+@dataclass
+class ParamDecl(Node):
+    name: str | None
+    ctype: "CType"
+    annotations: "AnnotationSet"
+
+
+@dataclass
+class GlobalUse(Node):
+    """One entry in a function's ``/*@globals ...@*/`` list."""
+
+    name: str
+    undef: bool = False  # global may be undefined at entry (paper: 'undef')
+    killed: bool = False  # function releases the global's storage
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str
+    ctype: "CType"  # a FunctionType
+    params: list[ParamDecl]
+    annotations: "AnnotationSet"  # return-value / function annotations
+    body: Block
+    storage: str | None = None
+    globals_list: list[GlobalUse] = field(default_factory=list)
+    modifies_list: list[str] | None = None  # None => no modifies clause
+
+
+@dataclass
+class TranslationUnit(Node):
+    name: str
+    items: list[Node] = field(default_factory=list)  # Declaration | FunctionDef
+
+    def functions(self) -> list[FunctionDef]:
+        return [item for item in self.items if isinstance(item, FunctionDef)]
+
+    def declarations(self) -> list[Declaration]:
+        return [item for item in self.items if isinstance(item, Declaration)]

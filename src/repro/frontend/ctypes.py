@@ -1,0 +1,261 @@
+"""Representation of C types.
+
+The analysis needs types for three things: deciding which expressions are
+pointers (null / allocation checking applies only to pointers), walking
+struct fields to decide whether storage is *completely defined* (paper
+section 3), and enforcing the outer-level annotation rule (an annotation
+on ``char **x`` constrains ``x``, not ``*x``; a typedef can push
+annotations to inner levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..annotations.kinds import AnnotationSet
+
+
+class CType:
+    """Base class for all C types."""
+
+    qualifiers: frozenset[str] = frozenset()
+
+    def is_pointer(self) -> bool:
+        return False
+
+    def is_function(self) -> bool:
+        return False
+
+    def is_aggregate(self) -> bool:
+        return False
+
+    def unqualified(self) -> "CType":
+        return self
+
+    def pointee(self) -> Optional["CType"]:
+        return None
+
+
+@dataclass(frozen=True)
+class Primitive(CType):
+    """A built-in scalar type (``int``, ``unsigned long``, ``double``...)."""
+
+    name: str  # canonical spelling, e.g. 'unsigned int', 'void', 'char'
+    qualifiers: frozenset[str] = frozenset()
+
+    def __str__(self) -> str:
+        return _qual_str(self.qualifiers) + self.name
+
+    @property
+    def is_void(self) -> bool:
+        return self.name == "void"
+
+    @property
+    def is_integral(self) -> bool:
+        return self.name not in ("void", "float", "double", "long double")
+
+
+VOID = Primitive("void")
+INT = Primitive("int")
+CHAR = Primitive("char")
+UNSIGNED_INT = Primitive("unsigned int")
+SIZE_T = Primitive("unsigned long")
+DOUBLE = Primitive("double")
+BOOL = Primitive("int")  # C89 has no bool; LCL's bool maps to int
+
+
+@dataclass(frozen=True)
+class Pointer(CType):
+    to: CType
+    qualifiers: frozenset[str] = frozenset()
+
+    def is_pointer(self) -> bool:
+        return True
+
+    def pointee(self) -> CType:
+        return self.to
+
+    def __str__(self) -> str:
+        return f"{self.to} *{_qual_str(self.qualifiers).strip()}"
+
+
+@dataclass(frozen=True)
+class Array(CType):
+    of: CType
+    size: int | None = None
+
+    def is_pointer(self) -> bool:
+        # Arrays decay to pointers in nearly every analysis context.
+        return False
+
+    def pointee(self) -> CType:
+        return self.of
+
+    def __str__(self) -> str:
+        dim = "" if self.size is None else str(self.size)
+        return f"{self.of} [{dim}]"
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    name: str
+    ctype: CType
+    annotations: "AnnotationSet"
+
+
+@dataclass
+class StructType(CType):
+    """A struct or union. Mutable because the definition may follow uses."""
+
+    tag: str | None
+    is_union: bool = False
+    fields: list[FieldDecl] | None = None  # None until defined
+
+    def is_aggregate(self) -> bool:
+        return True
+
+    @property
+    def is_complete(self) -> bool:
+        return self.fields is not None
+
+    def field_named(self, name: str) -> FieldDecl | None:
+        for fld in self.fields or []:
+            if fld.name == name:
+                return fld
+        return None
+
+    def __str__(self) -> str:
+        kw = "union" if self.is_union else "struct"
+        return f"{kw} {self.tag or '<anonymous>'}"
+
+    def __hash__(self) -> int:  # identity-hashed: tags may be reused across files
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+@dataclass
+class EnumType(CType):
+    tag: str | None
+    enumerators: dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"enum {self.tag or '<anonymous>'}"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+@dataclass(frozen=True)
+class ParamType:
+    name: str | None
+    ctype: CType
+    annotations: "AnnotationSet"
+    location: object = field(default=None, compare=False)  # frontend Location
+
+
+@dataclass
+class FunctionType(CType):
+    ret: CType
+    params: list[ParamType] = field(default_factory=list)
+    variadic: bool = False
+    old_style: bool = False  # empty parameter list '()'
+
+    def is_function(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(p.ctype) for p in self.params)
+        if self.variadic:
+            inner += ", ..." if inner else "..."
+        return f"{self.ret} ({inner})"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+@dataclass(frozen=True)
+class TypedefType(CType):
+    """A named type alias. Annotations on the typedef apply to all uses."""
+
+    name: str
+    actual: CType
+    annotations: "AnnotationSet"
+
+    def is_pointer(self) -> bool:
+        return self.actual.is_pointer()
+
+    def is_function(self) -> bool:
+        return self.actual.is_function()
+
+    def is_aggregate(self) -> bool:
+        return self.actual.is_aggregate()
+
+    def pointee(self) -> CType | None:
+        return self.actual.pointee()
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name) ^ id(self.actual)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TypedefType)
+            and other.name == self.name
+            and other.actual is self.actual
+        )
+
+
+def _qual_str(quals: frozenset[str]) -> str:
+    return "".join(q + " " for q in sorted(quals))
+
+
+def strip_typedefs(ctype: CType) -> CType:
+    """Resolve typedef aliases down to the underlying type."""
+    seen = 0
+    while isinstance(ctype, TypedefType):
+        ctype = ctype.actual
+        seen += 1
+        if seen > 64:  # defensive: malformed recursive typedef
+            break
+    return ctype
+
+
+def is_pointerish(ctype: CType) -> bool:
+    """True for pointers and arrays (things with derivable storage)."""
+    actual = strip_typedefs(ctype)
+    return isinstance(actual, (Pointer, Array))
+
+
+def pointee_type(ctype: CType) -> CType | None:
+    actual = strip_typedefs(ctype)
+    if isinstance(actual, (Pointer, Array)):
+        return actual.pointee()
+    return None
+
+
+def struct_fields(ctype: CType) -> list[FieldDecl]:
+    """Fields of a struct type (empty if not a complete struct)."""
+    actual = strip_typedefs(ctype)
+    if isinstance(actual, StructType) and actual.fields is not None:
+        return actual.fields
+    return []
+
+
+def add_qualifier(ctype: CType, qual: str) -> CType:
+    if isinstance(ctype, Primitive):
+        return Primitive(ctype.name, ctype.qualifiers | {qual})
+    if isinstance(ctype, Pointer):
+        return Pointer(ctype.to, ctype.qualifiers | {qual})
+    return ctype  # qualifiers on aggregates don't affect the analysis

@@ -1,0 +1,227 @@
+"""A C lexer that preserves LCLint annotation and control comments.
+
+Ordinary comments are discarded. Comments of the form ``/*@ ... @*/`` are
+the paper's *syntactic comments*: they carry interface annotations
+(``/*@null@*/``, ``/*@only@*/``) and are emitted as ``ANNOTATION`` tokens
+so the parser can attach them to declarations. Comments beginning with
+``/*@i`` (ignore), ``/*@-``/``/*@+`` (flag settings), or ``/*@end@*/`` are
+*control comments* and are emitted as ``CONTROL`` tokens consumed by the
+message-suppression machinery.
+"""
+
+from __future__ import annotations
+
+from .source import SourceFile
+from .tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+
+
+class LexError(Exception):
+    """Raised on malformed input (unterminated string/comment, bad char)."""
+
+    def __init__(self, message: str, location) -> None:
+        super().__init__(f"{location}: {message}")
+        self.location = location
+
+
+def _is_control_payload(payload: str) -> bool:
+    """Classify a ``/*@...@*/`` payload as a control comment.
+
+    Control forms (LCLint user's guide): ``i`` / ``i<n>`` (ignore next
+    message), ``ignore`` ... ``end`` (suppress a region), and ``-flag`` /
+    ``+flag`` / ``=flag`` (local flag settings). Everything else — in
+    particular the ``in`` definition annotation — is an annotation.
+    """
+    lowered = payload.lower()
+    if lowered in ("ignore", "end", "i"):
+        return True
+    if lowered.startswith(("-", "+", "=")):
+        return True
+    return lowered.startswith("i") and lowered[1:].isdigit()
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Tokenize one source file.
+
+    The lexer is line-oriented enough to support the preprocessor: it can
+    be asked for raw lines, but its main interface is :meth:`tokens`,
+    which yields every token in the file including a trailing EOF.
+    """
+
+    def __init__(self, source: SourceFile, keep_annotations: bool = True) -> None:
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+        self.keep_annotations = keep_annotations
+
+    # -- helpers ---------------------------------------------------------
+
+    def _loc(self, offset: int | None = None):
+        return self.source.location(self.pos if offset is None else offset)
+
+    def _peek(self, ahead: int = 0) -> str:
+        idx = self.pos + ahead
+        # A sentinel (rather than "") keeps `self._peek() in "abc"` safe:
+        # the empty string is a member of every string.
+        return self.text[idx] if idx < len(self.text) else "\x00"
+
+    def _starts_with(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    # -- scanning --------------------------------------------------------
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+    def next_token(self) -> Token:
+        self._skip_whitespace_and_plain_comments()
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", self._loc())
+
+        start = self.pos
+        ch = self._peek()
+
+        if self._starts_with("/*@"):
+            return self._scan_special_comment()
+        if _is_ident_start(ch):
+            return self._scan_identifier()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._scan_number()
+        if ch == '"':
+            return self._scan_string()
+        if ch == "'":
+            return self._scan_char()
+        for punct in PUNCTUATORS:
+            if self._starts_with(punct):
+                self.pos += len(punct)
+                return Token(TokenKind.PUNCT, punct, self._loc(start))
+        raise LexError(f"unexpected character {ch!r}", self._loc(start))
+
+    def _skip_whitespace_and_plain_comments(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n\f\v":
+                self.pos += 1
+            elif self._starts_with("/*@"):
+                return
+            elif self._starts_with("/*"):
+                end = self.text.find("*/", self.pos + 2)
+                if end == -1:
+                    raise LexError("unterminated comment", self._loc())
+                self.pos = end + 2
+            elif self._starts_with("//"):
+                end = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if end == -1 else end
+            elif ch == "\\" and self._peek(1) == "\n":
+                self.pos += 2
+            else:
+                return
+
+    def _scan_special_comment(self) -> Token:
+        start = self.pos
+        end = self.text.find("*/", self.pos + 3)
+        if end == -1:
+            raise LexError("unterminated annotation comment", self._loc())
+        body = self.text[self.pos + 3 : end]
+        self.pos = end + 2
+        # Annotation comments conventionally end with '@': /*@null@*/.
+        payload = body[:-1].strip() if body.endswith("@") else body.strip()
+        loc = self._loc(start)
+        kind = TokenKind.CONTROL if _is_control_payload(payload) else TokenKind.ANNOTATION
+        if not self.keep_annotations and kind is TokenKind.ANNOTATION:
+            return self.next_token()
+        return Token(kind, payload, loc)
+
+    def _scan_identifier(self) -> Token:
+        start = self.pos
+        while self.pos < len(self.text) and _is_ident_char(self._peek()):
+            self.pos += 1
+        spelling = self.text[start : self.pos]
+        kind = TokenKind.KEYWORD if spelling in KEYWORDS else TokenKind.IDENT
+        return Token(kind, spelling, self._loc(start))
+
+    def _scan_number(self) -> Token:
+        start = self.pos
+        is_float = False
+        if self._starts_with("0x") or self._starts_with("0X"):
+            self.pos += 2
+            while self.pos < len(self.text) and self._peek() in "0123456789abcdefABCDEF":
+                self.pos += 1
+        else:
+            while self.pos < len(self.text) and self._peek().isdigit():
+                self.pos += 1
+            if self._peek() == ".":
+                is_float = True
+                self.pos += 1
+                while self.pos < len(self.text) and self._peek().isdigit():
+                    self.pos += 1
+            if self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                is_float = True
+                self.pos += 1
+                if self._peek() in "+-":
+                    self.pos += 1
+                while self.pos < len(self.text) and self._peek().isdigit():
+                    self.pos += 1
+        while self._peek() in "uUlLfF":
+            if self._peek() in "fF":
+                is_float = True
+            self.pos += 1
+        spelling = self.text[start : self.pos]
+        kind = TokenKind.FLOAT_CONST if is_float else TokenKind.INT_CONST
+        return Token(kind, spelling, self._loc(start))
+
+    def _scan_string(self) -> Token:
+        start = self.pos
+        self.pos += 1
+        while True:
+            if self.pos >= len(self.text):
+                raise LexError("unterminated string literal", self._loc(start))
+            ch = self._peek()
+            if ch == "\\":
+                self.pos += 2
+            elif ch == '"':
+                self.pos += 1
+                break
+            elif ch == "\n":
+                raise LexError("newline in string literal", self._loc(start))
+            else:
+                self.pos += 1
+        return Token(TokenKind.STRING, self.text[start : self.pos], self._loc(start))
+
+    def _scan_char(self) -> Token:
+        start = self.pos
+        self.pos += 1
+        while True:
+            if self.pos >= len(self.text):
+                raise LexError("unterminated character constant", self._loc(start))
+            ch = self._peek()
+            if ch == "\\":
+                self.pos += 2
+            elif ch == "'":
+                self.pos += 1
+                break
+            elif ch == "\n":
+                raise LexError("newline in character constant", self._loc(start))
+            else:
+                self.pos += 1
+        return Token(TokenKind.CHAR_CONST, self.text[start : self.pos], self._loc(start))
+
+
+def tokenize(source: SourceFile, keep_annotations: bool = True) -> list[Token]:
+    """Convenience wrapper: lex an entire :class:`SourceFile`."""
+    return Lexer(source, keep_annotations=keep_annotations).tokens()

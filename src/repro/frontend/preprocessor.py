@@ -1,0 +1,618 @@
+"""A token-stream C preprocessor.
+
+Supports the directive subset that the paper's programs (and the
+reconstructed employee-database example) need: ``#include`` against a
+:class:`~repro.frontend.source.SourceManager`, object-like and
+function-like ``#define`` / ``#undef``, the full conditional family
+(``#if`` / ``#ifdef`` / ``#ifndef`` / ``#elif`` / ``#else`` / ``#endif``)
+with a constant-expression evaluator, and ``#error``. ``#pragma`` and
+``#line`` are accepted and ignored.
+
+Tokens keep their original source locations; tokens produced by macro
+expansion carry the location of the macro *use*, which is where LCLint
+reports anomalies detected inside macros (paper section 6 reports an
+anomaly "in the macro definition of erc_choose" at its use site).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .lexer import Lexer, tokenize
+from .source import Location, SourceFile, SourceManager
+from .tokens import Token, TokenKind
+
+
+class PreprocessError(Exception):
+    def __init__(self, message: str, location: Location) -> None:
+        super().__init__(f"{location}: {message}")
+        self.location = location
+
+
+@dataclass
+class Macro:
+    name: str
+    params: list[str] | None  # None => object-like
+    body: list[Token]
+    variadic: bool = False
+
+
+class _TokenCursor:
+    """Sequential reader over a token list (no EOF sentinel required)."""
+
+    def __init__(self, toks: list[Token]) -> None:
+        self.toks = toks
+        self.idx = 0
+
+    def peek(self, ahead: int = 0) -> Token | None:
+        idx = self.idx + ahead
+        return self.toks[idx] if idx < len(self.toks) else None
+
+    def next(self) -> Token | None:
+        tok = self.peek()
+        if tok is not None:
+            self.idx += 1
+        return tok
+
+    def at_end(self) -> bool:
+        return self.idx >= len(self.toks)
+
+
+class Preprocessor:
+    """Expand one entry file into a flat token stream."""
+
+    MAX_INCLUDE_DEPTH = 64
+
+    def __init__(
+        self,
+        sources: SourceManager,
+        defines: dict[str, str] | None = None,
+        system_headers: dict[str, str] | None = None,
+    ) -> None:
+        self.sources = sources
+        self.macros: dict[str, Macro] = {}
+        self.system_headers = dict(system_headers or {})
+        self._included: set[str] = set()
+        for name, value in (defines or {}).items():
+            body_src = SourceFile("<cmdline>", value)
+            body = [t for t in tokenize(body_src) if t.kind is not TokenKind.EOF]
+            self.macros[name] = Macro(name, None, body)
+
+    # -- public entry points ----------------------------------------------
+
+    def preprocess(self, name: str) -> list[Token]:
+        """Preprocess the named source file into tokens (EOF appended)."""
+        out = self._process_file(name, depth=0)
+        eof_loc = out[-1].location if out else Location(name, 1, 1)
+        out.append(Token(TokenKind.EOF, "", eof_loc))
+        return out
+
+    def preprocess_text(self, text: str, name: str = "<string>") -> list[Token]:
+        self.sources.add(name, text)
+        return self.preprocess(name)
+
+    # -- file / line processing ---------------------------------------------
+
+    def _resolve(self, header: str, angled: bool, loc: Location) -> str | None:
+        import os
+
+        if not angled:
+            if self.sources.get(header) is not None:
+                return header
+            # relative to the including file (standard "..." semantics)
+            sibling = os.path.join(os.path.dirname(loc.filename), header)
+            if self.sources.get(sibling) is not None:
+                return sibling
+            if os.path.isfile(sibling):
+                self.sources.load(sibling)
+                return sibling
+            if os.path.isfile(header):
+                self.sources.load(header)
+                return header
+        if header in self.system_headers:
+            synthetic = f"<{header}>"
+            if self.sources.get(synthetic) is None:
+                self.sources.add(synthetic, self.system_headers[header])
+            return synthetic
+        if self.sources.get(header) is not None:
+            return header
+        return None
+
+    def _process_file(self, name: str, depth: int) -> list[Token]:
+        if depth > self.MAX_INCLUDE_DEPTH:
+            raise PreprocessError(
+                f"include depth exceeds {self.MAX_INCLUDE_DEPTH}", Location(name, 1, 1)
+            )
+        source = self.sources.get(name)
+        if source is None:
+            source = self.sources.load(name)
+        # Token lists are immutable; cache per source file so headers
+        # included from several translation units lex only once.
+        raw = getattr(source, "_token_cache", None)
+        if raw is None:
+            raw = [t for t in Lexer(source).tokens()
+                   if t.kind is not TokenKind.EOF]
+            source._token_cache = raw  # type: ignore[attr-defined]
+        lines = _split_lines(raw)
+        out: list[Token] = []
+        # Conditional stack entries: (taking, taken_any, seen_else).
+        cond: list[list[bool]] = []
+
+        for line in lines:
+            if line and line[0].is_punct("#"):
+                self._directive(line, out, cond, depth)
+                continue
+            if all(frame[0] for frame in cond):
+                out.extend(self._expand(line))
+        if cond:
+            raise PreprocessError("unterminated conditional", lines[-1][0].location)
+        return out
+
+    def _directive(
+        self,
+        line: list[Token],
+        out: list[Token],
+        cond: list[list[bool]],
+        depth: int,
+    ) -> None:
+        loc = line[0].location
+        if len(line) == 1:
+            return  # null directive
+        head = line[1]
+        name = head.value
+        rest = line[2:]
+        active = all(frame[0] for frame in cond)
+
+        if name == "ifdef" or name == "ifndef":
+            defined = bool(rest) and rest[0].value in self.macros
+            value = defined if name == "ifdef" else not defined
+            cond.append([active and value, active and value, False])
+        elif name == "if":
+            value = bool(self._eval_condition(rest, loc)) if active else False
+            cond.append([active and value, active and value, False])
+        elif name == "elif":
+            if not cond:
+                raise PreprocessError("#elif without #if", loc)
+            frame = cond.pop()
+            outer_active = all(f[0] for f in cond)
+            if frame[2]:
+                raise PreprocessError("#elif after #else", loc)
+            if frame[1] or not outer_active:
+                cond.append([False, frame[1], False])
+            else:
+                value = bool(self._eval_condition(rest, loc))
+                cond.append([value, value, False])
+        elif name == "else":
+            if not cond:
+                raise PreprocessError("#else without #if", loc)
+            frame = cond.pop()
+            outer_active = all(f[0] for f in cond)
+            if frame[2]:
+                raise PreprocessError("duplicate #else", loc)
+            cond.append([outer_active and not frame[1], True, True])
+        elif name == "endif":
+            if not cond:
+                raise PreprocessError("#endif without #if", loc)
+            cond.pop()
+        elif not active:
+            return
+        elif name == "define":
+            self._define(rest, loc)
+        elif name == "undef":
+            if rest:
+                self.macros.pop(rest[0].value, None)
+        elif name == "include":
+            self._include(rest, out, loc, depth)
+        elif name == "error":
+            text = " ".join(t.value for t in rest)
+            raise PreprocessError(f"#error {text}", loc)
+        elif name in ("pragma", "line"):
+            return
+        else:
+            raise PreprocessError(f"unknown directive #{name}", loc)
+
+    def _include(
+        self, rest: list[Token], out: list[Token], loc: Location, depth: int
+    ) -> None:
+        if not rest:
+            raise PreprocessError("#include expects a header name", loc)
+        if rest[0].kind is TokenKind.STRING:
+            header = rest[0].value[1:-1]
+            angled = False
+        elif rest[0].is_punct("<"):
+            header = "".join(t.value for t in rest[1:-1])
+            if not rest[-1].is_punct(">"):
+                raise PreprocessError("malformed #include <...>", loc)
+            angled = True
+        else:
+            raise PreprocessError("malformed #include", loc)
+        resolved = self._resolve(header, angled, loc)
+        if resolved is None:
+            raise PreprocessError(f"cannot find include file {header!r}", loc)
+        if resolved in self._included:
+            return  # every include behaves as if guarded; headers here are interfaces
+        self._included.add(resolved)
+        out.extend(self._process_file(resolved, depth + 1))
+
+    def _define(self, rest: list[Token], loc: Location) -> None:
+        if not rest or rest[0].kind is not TokenKind.IDENT:
+            raise PreprocessError("#define expects an identifier", loc)
+        name_tok = rest[0]
+        cursor = 1
+        params: list[str] | None = None
+        variadic = False
+        # Function-like only if '(' immediately follows the name (same column).
+        if (
+            cursor < len(rest)
+            and rest[cursor].is_punct("(")
+            and rest[cursor].location.line == name_tok.location.line
+            and rest[cursor].location.column
+            == name_tok.location.column + len(name_tok.value)
+        ):
+            params = []
+            cursor += 1
+            while cursor < len(rest) and not rest[cursor].is_punct(")"):
+                tok = rest[cursor]
+                if tok.is_punct("..."):
+                    variadic = True
+                elif tok.kind is TokenKind.IDENT:
+                    params.append(tok.value)
+                elif not tok.is_punct(","):
+                    raise PreprocessError("malformed macro parameter list", loc)
+                cursor += 1
+            if cursor >= len(rest):
+                raise PreprocessError("unterminated macro parameter list", loc)
+            cursor += 1
+        body = rest[cursor:]
+        self.macros[name_tok.value] = Macro(name_tok.value, params, body, variadic)
+
+    # -- macro expansion ----------------------------------------------------
+
+    def _expand(self, toks: list[Token], banned: frozenset[str] = frozenset()) -> list[Token]:
+        out: list[Token] = []
+        cursor = _TokenCursor(toks)
+        while not cursor.at_end():
+            tok = cursor.next()
+            assert tok is not None
+            if tok.kind is not TokenKind.IDENT or tok.value in banned:
+                out.append(tok)
+                continue
+            macro = self.macros.get(tok.value)
+            if macro is None:
+                out.append(tok)
+                continue
+            if macro.params is None:
+                body = [Token(t.kind, t.value, tok.location) for t in macro.body]
+                out.extend(self._expand(body, banned | {macro.name}))
+                continue
+            nxt = cursor.peek()
+            if nxt is None or not nxt.is_punct("("):
+                out.append(tok)  # function-like macro without args: plain ident
+                continue
+            args = self._collect_args(cursor, tok.location)
+            out.extend(self._substitute(macro, args, tok.location, banned))
+        return out
+
+    def _collect_args(self, cursor: _TokenCursor, loc: Location) -> list[list[Token]]:
+        cursor.next()  # consume '('
+        args: list[list[Token]] = [[]]
+        nesting = 0
+        while True:
+            tok = cursor.next()
+            if tok is None:
+                raise PreprocessError("unterminated macro argument list", loc)
+            if tok.is_punct("(") or tok.is_punct("[") or tok.is_punct("{"):
+                nesting += 1
+                args[-1].append(tok)
+            elif tok.is_punct(")") and nesting == 0:
+                break
+            elif tok.is_punct(")") or tok.is_punct("]") or tok.is_punct("}"):
+                nesting -= 1
+                args[-1].append(tok)
+            elif tok.is_punct(",") and nesting == 0:
+                args.append([])
+            else:
+                args[-1].append(tok)
+        if args == [[]]:
+            return []
+        return args
+
+    def _substitute(
+        self,
+        macro: Macro,
+        args: list[list[Token]],
+        use_loc: Location,
+        banned: frozenset[str],
+    ) -> list[Token]:
+        params = macro.params or []
+        if macro.variadic:
+            fixed, rest = args[: len(params)], args[len(params) :]
+            va: list[Token] = []
+            for i, arg in enumerate(rest):
+                if i:
+                    va.append(Token(TokenKind.PUNCT, ",", use_loc))
+                va.extend(arg)
+            mapping = dict(zip(params, fixed))
+            mapping["__VA_ARGS__"] = va
+        else:
+            if len(args) != len(params):
+                raise PreprocessError(
+                    f"macro {macro.name!r} expects {len(params)} argument(s), "
+                    f"got {len(args)}",
+                    use_loc,
+                )
+            mapping = dict(zip(params, args))
+
+        substituted: list[Token] = []
+        i = 0
+        body = macro.body
+        while i < len(body):
+            tok = body[i]
+            # Token pasting: a ## b.
+            if i + 2 < len(body) and body[i + 1].is_punct("##"):
+                left = self._paste_operand(tok, mapping)
+                right = self._paste_operand(body[i + 2], mapping)
+                pasted_src = SourceFile(str(use_loc), left + right)
+                pasted = [
+                    Token(t.kind, t.value, use_loc)
+                    for t in tokenize(pasted_src)
+                    if t.kind is not TokenKind.EOF
+                ]
+                substituted.extend(pasted)
+                i += 3
+                continue
+            if tok.is_punct("#") and i + 1 < len(body) and body[i + 1].value in mapping:
+                text = " ".join(t.value for t in mapping[body[i + 1].value])
+                substituted.append(
+                    Token(TokenKind.STRING, '"' + text.replace('"', '\\"') + '"', use_loc)
+                )
+                i += 2
+                continue
+            if tok.kind is TokenKind.IDENT and tok.value in mapping:
+                substituted.extend(
+                    Token(t.kind, t.value, use_loc) for t in mapping[tok.value]
+                )
+            else:
+                substituted.append(Token(tok.kind, tok.value, use_loc))
+            i += 1
+        return self._expand(substituted, banned | {macro.name})
+
+    @staticmethod
+    def _paste_operand(tok: Token, mapping: dict[str, list[Token]]) -> str:
+        if tok.kind is TokenKind.IDENT and tok.value in mapping:
+            return "".join(t.value for t in mapping[tok.value])
+        return tok.value
+
+    # -- #if expression evaluation -------------------------------------------
+
+    def _eval_condition(self, toks: list[Token], loc: Location) -> int:
+        expanded: list[Token] = []
+        cursor = _TokenCursor(toks)
+        # Handle defined(X) before macro expansion, as the standard requires.
+        pending: list[Token] = []
+        while not cursor.at_end():
+            tok = cursor.next()
+            assert tok is not None
+            if tok.kind is TokenKind.IDENT and tok.value == "defined":
+                nxt = cursor.peek()
+                if nxt is not None and nxt.is_punct("("):
+                    cursor.next()
+                    name = cursor.next()
+                    close = cursor.next()
+                    if name is None or close is None or not close.is_punct(")"):
+                        raise PreprocessError("malformed defined()", loc)
+                    target = name.value
+                else:
+                    name = cursor.next()
+                    if name is None:
+                        raise PreprocessError("malformed defined", loc)
+                    target = name.value
+                value = "1" if target in self.macros else "0"
+                pending.append(Token(TokenKind.INT_CONST, value, tok.location))
+            else:
+                pending.append(tok)
+        expanded = self._expand(pending)
+        # Remaining identifiers evaluate to 0.
+        normalized = [
+            Token(TokenKind.INT_CONST, "0", t.location)
+            if t.kind is TokenKind.IDENT
+            else t
+            for t in expanded
+        ]
+        return _CondParser(normalized, loc).parse()
+
+
+class _CondParser:
+    """Recursive-descent evaluator for #if constant expressions."""
+
+    def __init__(self, toks: list[Token], loc: Location) -> None:
+        self.toks = toks
+        self.idx = 0
+        self.loc = loc
+
+    def parse(self) -> int:
+        value = self._ternary()
+        if self.idx != len(self.toks):
+            raise PreprocessError("trailing tokens in #if expression", self.loc)
+        return value
+
+    def _peek(self) -> Token | None:
+        return self.toks[self.idx] if self.idx < len(self.toks) else None
+
+    def _accept(self, spelling: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.is_punct(spelling):
+            self.idx += 1
+            return True
+        return False
+
+    def _ternary(self) -> int:
+        cond = self._or()
+        if self._accept("?"):
+            then = self._ternary()
+            if not self._accept(":"):
+                raise PreprocessError("expected ':' in #if expression", self.loc)
+            other = self._ternary()
+            return then if cond else other
+        return cond
+
+    def _or(self) -> int:
+        value = self._and()
+        while self._accept("||"):
+            rhs = self._and()
+            value = 1 if (value or rhs) else 0
+        return value
+
+    def _and(self) -> int:
+        value = self._bitor()
+        while self._accept("&&"):
+            rhs = self._bitor()
+            value = 1 if (value and rhs) else 0
+        return value
+
+    def _bitor(self) -> int:
+        value = self._bitxor()
+        while self._accept("|"):
+            value |= self._bitxor()
+        return value
+
+    def _bitxor(self) -> int:
+        value = self._bitand()
+        while self._accept("^"):
+            value ^= self._bitand()
+        return value
+
+    def _bitand(self) -> int:
+        value = self._equality()
+        while self._accept("&"):
+            value &= self._equality()
+        return value
+
+    def _equality(self) -> int:
+        value = self._relational()
+        while True:
+            if self._accept("=="):
+                value = 1 if value == self._relational() else 0
+            elif self._accept("!="):
+                value = 1 if value != self._relational() else 0
+            else:
+                return value
+
+    def _relational(self) -> int:
+        value = self._shift()
+        while True:
+            if self._accept("<="):
+                value = 1 if value <= self._shift() else 0
+            elif self._accept(">="):
+                value = 1 if value >= self._shift() else 0
+            elif self._accept("<"):
+                value = 1 if value < self._shift() else 0
+            elif self._accept(">"):
+                value = 1 if value > self._shift() else 0
+            else:
+                return value
+
+    def _shift(self) -> int:
+        value = self._additive()
+        while True:
+            if self._accept("<<"):
+                value <<= self._additive()
+            elif self._accept(">>"):
+                value >>= self._additive()
+            else:
+                return value
+
+    def _additive(self) -> int:
+        value = self._multiplicative()
+        while True:
+            if self._accept("+"):
+                value += self._multiplicative()
+            elif self._accept("-"):
+                value -= self._multiplicative()
+            else:
+                return value
+
+    def _multiplicative(self) -> int:
+        value = self._unary()
+        while True:
+            if self._accept("*"):
+                value *= self._unary()
+            elif self._accept("/"):
+                rhs = self._unary()
+                value = value // rhs if rhs else 0
+            elif self._accept("%"):
+                rhs = self._unary()
+                value = value % rhs if rhs else 0
+            else:
+                return value
+
+    def _unary(self) -> int:
+        if self._accept("!"):
+            return 0 if self._unary() else 1
+        if self._accept("-"):
+            return -self._unary()
+        if self._accept("+"):
+            return self._unary()
+        if self._accept("~"):
+            return ~self._unary()
+        if self._accept("("):
+            value = self._ternary()
+            if not self._accept(")"):
+                raise PreprocessError("expected ')' in #if expression", self.loc)
+            return value
+        tok = self._peek()
+        if tok is None:
+            raise PreprocessError("unexpected end of #if expression", self.loc)
+        if tok.kind is TokenKind.INT_CONST:
+            self.idx += 1
+            return parse_int_constant(tok.value)
+        if tok.kind is TokenKind.CHAR_CONST:
+            self.idx += 1
+            return _char_value(tok.value)
+        raise PreprocessError(f"unexpected token {tok.value!r} in #if", self.loc)
+
+
+def parse_int_constant(spelling: str) -> int:
+    """Parse a C integer constant spelling (suffixes stripped)."""
+    text = spelling.rstrip("uUlL")
+    if text.lower().startswith("0x"):
+        return int(text, 16)
+    if text.startswith("0") and len(text) > 1 and text[1:].isdigit():
+        return int(text, 8)
+    return int(text) if text else 0
+
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+def _char_value(spelling: str) -> int:
+    inner = spelling[1:-1]
+    if inner.startswith("\\") and len(inner) >= 2:
+        return _ESCAPES.get(inner[1], ord(inner[1]))
+    return ord(inner[0]) if inner else 0
+
+
+def _split_lines(toks: list[Token]) -> list[list[Token]]:
+    """Group a flat token list into physical-line groups.
+
+    Directive lines must be isolated; for non-directive code the grouping
+    is irrelevant because groups are concatenated back in order.
+    """
+    lines: list[list[Token]] = []
+    current: list[Token] = []
+    current_line = None
+    for tok in toks:
+        if current_line is None or tok.location.line != current_line:
+            # A directive only ends at a real newline; continuation lines were
+            # already joined by the lexer's backslash-newline handling.
+            if current:
+                lines.append(current)
+            current = []
+            current_line = tok.location.line
+        current.append(tok)
+    if current:
+        lines.append(current)
+    return lines

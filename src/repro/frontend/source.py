@@ -1,0 +1,100 @@
+"""Source files and source locations.
+
+Every token, AST node, and diagnostic carries a :class:`Location` so that
+messages can be reported LCLint-style (``file.c:5: ...``) and so that
+sub-locations ("Storage gname may become null" at the assignment site) can
+point back into the program text.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """A position in a source file (1-based line and column)."""
+
+    filename: str
+    line: int
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}"
+
+    def with_column(self, column: int) -> "Location":
+        return Location(self.filename, self.line, column)
+
+
+#: Location used for entities with no source position (builtins, stdlib specs).
+BUILTIN_LOCATION = Location("<builtin>", 0, 0)
+
+
+@dataclass
+class SourceFile:
+    """A named body of C source text with line-offset indexing."""
+
+    name: str
+    text: str
+    _line_starts: list[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        starts = [0]
+        for i, ch in enumerate(self.text):
+            if ch == "\n":
+                starts.append(i + 1)
+        self._line_starts = starts
+
+    @property
+    def line_count(self) -> int:
+        return len(self._line_starts)
+
+    def location(self, offset: int) -> Location:
+        """Map a character offset into a :class:`Location`."""
+        if offset < 0:
+            offset = 0
+        line = bisect.bisect_right(self._line_starts, offset)
+        column = offset - self._line_starts[line - 1] + 1
+        return Location(self.name, line, column)
+
+    def line_text(self, line: int) -> str:
+        """Return the text of a 1-based line (without the newline)."""
+        if line < 1 or line > len(self._line_starts):
+            return ""
+        start = self._line_starts[line - 1]
+        end = self.text.find("\n", start)
+        if end == -1:
+            end = len(self.text)
+        return self.text[start:end]
+
+
+class SourceManager:
+    """Registry of source files, including virtual (in-memory) headers.
+
+    The preprocessor resolves ``#include`` directives against this manager,
+    which lets tests and the benchmark generator assemble multi-file
+    programs without touching the real filesystem.
+    """
+
+    def __init__(self) -> None:
+        self._files: dict[str, SourceFile] = {}
+
+    def add(self, name: str, text: str) -> SourceFile:
+        sf = SourceFile(name, text)
+        self._files[name] = sf
+        return sf
+
+    def get(self, name: str) -> SourceFile | None:
+        return self._files.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._files)
+
+    def load(self, path: str) -> SourceFile:
+        """Load a file from disk (cached by path)."""
+        existing = self._files.get(path)
+        if existing is not None:
+            return existing
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            return self.add(path, handle.read())

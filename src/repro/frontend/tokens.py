@@ -1,0 +1,66 @@
+"""Token kinds for the C lexer.
+
+The lexer produces ordinary C tokens plus two kinds the paper's system
+depends on: ``ANNOTATION`` for ``/*@ ... @*/`` syntactic comments and
+``CONTROL`` for stylized control comments (message suppression and local
+flag settings, paper sections 2 and 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .source import Location
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    INT_CONST = "integer constant"
+    FLOAT_CONST = "floating constant"
+    CHAR_CONST = "character constant"
+    STRING = "string literal"
+    PUNCT = "punctuator"
+    ANNOTATION = "annotation comment"
+    CONTROL = "control comment"
+    EOF = "end of file"
+
+
+#: C89 keywords plus the handful of C99 ones that show up in real headers.
+KEYWORDS = frozenset(
+    {
+        "auto", "break", "case", "char", "const", "continue", "default",
+        "do", "double", "else", "enum", "extern", "float", "for", "goto",
+        "if", "inline", "int", "long", "register", "return", "short",
+        "signed", "sizeof", "static", "struct", "switch", "typedef",
+        "union", "unsigned", "void", "volatile", "while",
+    }
+)
+
+#: Multi-character punctuators, longest first so the lexer can greedily match.
+PUNCTUATORS = (
+    "<<=", ">>=", "...", "##", "#",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", "~",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "^", "|", ".",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its spelling and source location."""
+
+    kind: TokenKind
+    value: str
+    location: Location
+
+    def is_punct(self, spelling: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.value == spelling
+
+    def is_keyword(self, spelling: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value == spelling
+
+    def __str__(self) -> str:
+        return self.value if self.kind is not TokenKind.EOF else "<eof>"

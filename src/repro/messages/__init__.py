@@ -1,0 +1,7 @@
+"""Messages, reporting, and stylized-comment suppression."""
+
+from .message import Message, MessageCode, SubLocation
+from .reporter import Reporter
+from .suppress import SuppressionTable
+
+__all__ = ["Message", "MessageCode", "SubLocation", "Reporter", "SuppressionTable"]

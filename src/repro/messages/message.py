@@ -1,0 +1,84 @@
+"""Checker messages.
+
+LCLint messages have a two-part shape (paper footnote 3): a primary line
+explaining the anomaly and where it is detected, plus indented sub-lines
+showing where relevant state changes happened::
+
+    sample.c:6: Function returns with non-null global gname referencing
+        null storage
+       sample.c:5: Storage gname may become null
+
+Every message carries a :class:`MessageCode`, which names the check class
+(and thereby the flag that suppresses it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..frontend.source import Location
+
+
+class MessageCode(enum.Enum):
+    """Check classes; each maps to the flag that controls it."""
+
+    NULL_DEREF = ("null-deref", "null")
+    NULL_RET_GLOBAL = ("null-ret-global", "null")
+    NULL_RET_VALUE = ("null-ret-value", "null")
+    NULL_PARAM = ("null-param", "null")
+    USE_BEFORE_DEF = ("use-before-def", "usedef")
+    INCOMPLETE_DEF = ("incomplete-def", "compdef")
+    PARAM_NOT_DEFINED = ("param-not-defined", "compdef")
+    USE_AFTER_RELEASE = ("use-after-release", "usereleased")
+    LEAK_OVERWRITE = ("leak-overwrite", "mustfree")
+    LEAK_SCOPE = ("leak-scope", "mustfree")
+    LEAK_RETURN = ("leak-return", "mustfree")
+    LEAK_RESULT = ("leak-result", "mustfree")
+    GLOBAL_RELEASED = ("global-released", "globstate")
+    ONLY_NOT_RELEASED = ("only-not-released", "mustfree")
+    TEMP_TO_ONLY = ("temp-to-only", "memtrans")
+    BAD_TRANSFER = ("bad-transfer", "memtrans")
+    IMPLICIT_TRANSFER = ("implicit-transfer", "memimplicit")
+    CONFLUENCE = ("confluence", "branchstate")
+    UNIQUE_ALIAS = ("unique-alias", "aliasunique")
+    TEMP_ALIAS = ("temp-alias", "aliasunique")
+    OBSERVER_MODIFIED = ("observer-modified", "observertrans")
+    ANNOTATION_PROBLEM = ("annotation-problem", "annotations")
+    GLOBAL_UNDEFINED = ("global-undefined", "globstate")
+    RET_VAL_IGNORED = ("ret-val-ignored", "retvalother")
+    MODIFIES = ("modifies", "mods")
+    PARSE_ERROR = ("parse-error", "syntax")
+
+    def __init__(self, slug: str, flag: str) -> None:
+        self.slug = slug
+        self.flag = flag
+
+
+@dataclass(frozen=True)
+class SubLocation:
+    location: Location
+    text: str
+
+
+@dataclass(frozen=True)
+class Message:
+    """One reported anomaly."""
+
+    code: MessageCode
+    location: Location
+    text: str
+    subs: tuple[SubLocation, ...] = field(default=())
+
+    def render(self) -> str:
+        lines = [f"{self.location}: {self.text}"]
+        for sub in self.subs:
+            lines.append(f"   {sub.location}: {sub.text}")
+        return "\n".join(lines)
+
+    def sort_key(self) -> tuple:
+        return (self.location.filename, self.location.line,
+                self.location.column, self.code.slug, self.text)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,125 @@
+"""Message suppression via stylized control comments (paper sections 2, 7).
+
+"Since spurious messages can be suppressed locally by placing stylized
+comments around the code that produces the message, this unsoundness has
+rarely been a serious problem in practice." Section 7 reports 75 such
+suppressions in LCLint's own source.
+
+Supported forms (from the LCLint user's guide):
+
+* ``/*@ignore@*/`` ... ``/*@end@*/`` — suppress all messages in the region.
+* ``/*@i@*/`` — suppress messages reported on the same line.
+* ``/*@i<n>@*/`` — suppress up to *n* messages on the same line.
+* ``/*@-flag@*/`` ... ``/*@+flag@*/`` — turn a check class off/on locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..flags.registry import FLAG_REGISTRY
+from ..frontend.tokens import Token, TokenKind
+from .message import Message
+
+
+@dataclass
+class _Region:
+    filename: str
+    start_line: int
+    end_line: int  # inclusive; a large sentinel when unterminated
+    flag: str | None  # None => suppress everything
+
+
+@dataclass
+class _LineIgnore:
+    filename: str
+    line: int
+    budget: int  # how many messages may be swallowed
+
+
+_OPEN_END = 10**9
+
+
+class SuppressionTable:
+    """Suppression state harvested from a file's control tokens."""
+
+    def __init__(self) -> None:
+        self.regions: list[_Region] = []
+        self.line_ignores: list[_LineIgnore] = []
+        self.problems: list[str] = []
+
+    @staticmethod
+    def from_controls(controls: list[Token]) -> "SuppressionTable":
+        table = SuppressionTable()
+        open_ignores: list[_Region] = []
+        open_flags: dict[str, _Region] = {}
+        for tok in controls:
+            if tok.kind is not TokenKind.CONTROL:
+                continue
+            payload = tok.value.strip()
+            loc = tok.location
+            if payload == "ignore":
+                region = _Region(loc.filename, loc.line, _OPEN_END, None)
+                open_ignores.append(region)
+                table.regions.append(region)
+            elif payload == "end":
+                if open_ignores:
+                    open_ignores.pop().end_line = loc.line
+                else:
+                    table.problems.append(
+                        f"{loc}: /*@end@*/ without matching /*@ignore@*/"
+                    )
+            elif payload == "i":
+                table.line_ignores.append(_LineIgnore(loc.filename, loc.line, 1))
+            elif payload.startswith("i") and payload[1:].isdigit():
+                table.line_ignores.append(
+                    _LineIgnore(loc.filename, loc.line, int(payload[1:]))
+                )
+            elif payload.startswith("-"):
+                name = payload[1:].strip()
+                if name in FLAG_REGISTRY:
+                    region = _Region(loc.filename, loc.line, _OPEN_END, name)
+                    open_flags[name] = region
+                    table.regions.append(region)
+                else:
+                    table.problems.append(f"{loc}: unknown flag in control comment: {name!r}")
+            elif payload.startswith("+") or payload.startswith("="):
+                name = payload[1:].strip()
+                region = open_flags.pop(name, None)
+                if region is not None:
+                    region.end_line = loc.line
+                # '+flag' with no matching '-flag' simply (re)enables: no-op here
+            else:
+                table.problems.append(f"{loc}: unrecognized control comment {payload!r}")
+        return table
+
+    def filter(self, messages: list[Message]) -> tuple[list[Message], int]:
+        """Drop suppressed messages; returns (kept, suppressed_count)."""
+        budgets = {
+            (li.filename, li.line): li.budget for li in self.line_ignores
+        }
+        kept: list[Message] = []
+        suppressed = 0
+        for msg in sorted(messages, key=Message.sort_key):
+            loc = msg.location
+            if self._in_region(msg):
+                suppressed += 1
+                continue
+            key = (loc.filename, loc.line)
+            if budgets.get(key, 0) > 0:
+                budgets[key] -= 1
+                suppressed += 1
+                continue
+            kept.append(msg)
+        return kept, suppressed
+
+    def _in_region(self, msg: Message) -> bool:
+        loc = msg.location
+        for region in self.regions:
+            if region.filename != loc.filename:
+                continue
+            if not (region.start_line <= loc.line <= region.end_line):
+                continue
+            if region.flag is None or region.flag == msg.code.flag:
+                return True
+        return False

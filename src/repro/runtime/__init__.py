@@ -1,0 +1,30 @@
+"""Run-time memory-error detection: the paper's dynamic-tool baseline."""
+
+from .heap import (
+    NULL,
+    UNDEFINED,
+    InstrumentedHeap,
+    MemObject,
+    Pointer,
+    RuntimeEvent,
+    RuntimeEventKind,
+)
+from .interp import Interpreter, InterpreterError, RunResult, run_program
+from .layout import Layout, layout_of, sizeof_ctype
+
+__all__ = [
+    "NULL",
+    "UNDEFINED",
+    "InstrumentedHeap",
+    "MemObject",
+    "Pointer",
+    "RuntimeEvent",
+    "RuntimeEventKind",
+    "Interpreter",
+    "InterpreterError",
+    "RunResult",
+    "run_program",
+    "Layout",
+    "layout_of",
+    "sizeof_ctype",
+]

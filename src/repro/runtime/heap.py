@@ -1,0 +1,245 @@
+"""The instrumented heap: the paper's run-time comparator, from scratch.
+
+The paper contrasts its static checking with run-time tools (dmalloc,
+mprof, Purify). This module is the substitute substrate: every memory
+object carries its allocation site and a freed flag; every access is
+checked; unfreed heap blocks are reported as leaks when the program
+ends. Crucially — and this is the behaviour the comparison experiment
+exercises — the run-time checker can only flag errors on paths that
+actually execute.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from ..frontend.source import Location
+
+
+class RuntimeEventKind(enum.Enum):
+    NULL_DEREF = "null-dereference"
+    USE_AFTER_FREE = "use-after-free"
+    DOUBLE_FREE = "double-free"
+    INVALID_FREE = "invalid-free"        # offset pointer or non-heap storage
+    UNINIT_READ = "uninitialized-read"
+    OUT_OF_BOUNDS = "out-of-bounds"
+    LEAK = "memory-leak"
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One detected dynamic memory error (a dmalloc/Purify-style report)."""
+
+    kind: RuntimeEventKind
+    location: Location | None
+    detail: str
+    alloc_site: Location | None = None
+
+    def render(self) -> str:
+        where = str(self.location) if self.location else "<unknown>"
+        text = f"{where}: runtime {self.kind.value}: {self.detail}"
+        if self.alloc_site is not None:
+            text += f"\n   allocated at {self.alloc_site}"
+        return text
+
+
+#: Sentinel stored in slots that were never written.
+class _Undefined:
+    _instance: "_Undefined | None" = None
+
+    def __new__(cls) -> "_Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNDEFINED"
+
+
+UNDEFINED = _Undefined()
+
+
+@dataclass
+class MemObject:
+    """A region of storage: a heap block, a variable cell, or a literal."""
+
+    obj_id: int
+    kind: str  # 'heap' | 'local' | 'global' | 'static'
+    slots: list = field(default_factory=list)
+    byte_size: int = 0
+    alloc_site: Location | None = None
+    freed: bool = False
+    label: str = ""
+
+    def in_bounds(self, slot: int) -> bool:
+        return 0 <= slot < len(self.slots)
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A typed machine pointer: object + slot offset (None = NULL)."""
+
+    obj: MemObject | None
+    slot: int = 0
+
+    @property
+    def is_null(self) -> bool:
+        return self.obj is None
+
+    def __repr__(self) -> str:
+        if self.obj is None:
+            return "NULL"
+        return f"&{self.obj.label or self.obj.obj_id}+{self.slot}"
+
+
+NULL = Pointer(None, 0)
+
+
+class InstrumentedHeap:
+    """Allocation bookkeeping plus checked load/store/free primitives."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self.objects: list[MemObject] = []
+        self.events: list[RuntimeEvent] = []
+        self.alloc_count = 0
+        self.free_count = 0
+        self.peak_live = 0
+        self._live = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def new_object(
+        self,
+        kind: str,
+        slot_count: int,
+        byte_size: int,
+        site: Location | None = None,
+        label: str = "",
+        defined: bool = False,
+        fill=0,
+    ) -> MemObject:
+        initial = fill if defined else UNDEFINED
+        obj = MemObject(
+            next(self._ids), kind,
+            [initial] * max(slot_count, 1),
+            byte_size, site, label=label,
+        )
+        self.objects.append(obj)
+        if kind == "heap":
+            self.alloc_count += 1
+            self._live += 1
+            self.peak_live = max(self.peak_live, self._live)
+        return obj
+
+    # -- checked operations ----------------------------------------------------
+
+    def report(
+        self,
+        kind: RuntimeEventKind,
+        location: Location | None,
+        detail: str,
+        alloc_site: Location | None = None,
+    ) -> None:
+        self.events.append(RuntimeEvent(kind, location, detail, alloc_site))
+
+    def load(self, ptr: Pointer, location: Location | None, what: str = "storage"):
+        if ptr.is_null:
+            self.report(RuntimeEventKind.NULL_DEREF, location,
+                        f"read through null pointer ({what})")
+            return 0
+        obj = ptr.obj
+        assert obj is not None
+        if obj.freed:
+            self.report(
+                RuntimeEventKind.USE_AFTER_FREE, location,
+                f"read of freed {what}", obj.alloc_site,
+            )
+            return 0
+        if not obj.in_bounds(ptr.slot):
+            self.report(
+                RuntimeEventKind.OUT_OF_BOUNDS, location,
+                f"read at offset {ptr.slot} of {len(obj.slots)}-slot object",
+                obj.alloc_site,
+            )
+            return 0
+        value = obj.slots[ptr.slot]
+        if value is UNDEFINED:
+            self.report(
+                RuntimeEventKind.UNINIT_READ, location,
+                f"read of uninitialized {what}", obj.alloc_site,
+            )
+            return 0
+        return value
+
+    def store(self, ptr: Pointer, value, location: Location | None,
+              what: str = "storage") -> None:
+        if ptr.is_null:
+            self.report(RuntimeEventKind.NULL_DEREF, location,
+                        f"write through null pointer ({what})")
+            return
+        obj = ptr.obj
+        assert obj is not None
+        if obj.freed:
+            self.report(
+                RuntimeEventKind.USE_AFTER_FREE, location,
+                f"write to freed {what}", obj.alloc_site,
+            )
+            return
+        if not obj.in_bounds(ptr.slot):
+            self.report(
+                RuntimeEventKind.OUT_OF_BOUNDS, location,
+                f"write at offset {ptr.slot} of {len(obj.slots)}-slot object",
+                obj.alloc_site,
+            )
+            return
+        obj.slots[ptr.slot] = value
+
+    def free(self, ptr: Pointer, location: Location | None) -> None:
+        if ptr.is_null:
+            return  # free(NULL) is a no-op per ANSI
+        obj = ptr.obj
+        assert obj is not None
+        if obj.kind != "heap":
+            self.report(
+                RuntimeEventKind.INVALID_FREE, location,
+                f"free of non-heap storage ({obj.kind})",
+            )
+            return
+        if obj.freed:
+            self.report(
+                RuntimeEventKind.DOUBLE_FREE, location,
+                "block freed twice", obj.alloc_site,
+            )
+            return
+        if ptr.slot != 0:
+            # Section 7: "a few errors involving incorrectly freeing storage
+            # resulting from pointer arithmetic" -- the offset-pointer free.
+            self.report(
+                RuntimeEventKind.INVALID_FREE, location,
+                f"free of interior pointer (offset {ptr.slot})", obj.alloc_site,
+            )
+            return
+        obj.freed = True
+        self.free_count += 1
+        self._live -= 1
+
+    # -- end-of-run reporting ----------------------------------------------------
+
+    def leaked_blocks(self) -> list[MemObject]:
+        return [o for o in self.objects if o.kind == "heap" and not o.freed]
+
+    def report_leaks(self) -> int:
+        leaks = self.leaked_blocks()
+        for obj in leaks:
+            self.report(
+                RuntimeEventKind.LEAK, obj.alloc_site,
+                f"{obj.byte_size} byte(s) never freed", obj.alloc_site,
+            )
+        return len(leaks)
+
+    @property
+    def live_blocks(self) -> int:
+        return self._live

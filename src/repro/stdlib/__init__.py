@@ -1,0 +1,5 @@
+"""Annotated ANSI standard library specifications."""
+
+from .specs import PRELUDE_DEFINES, PRELUDE_NAME, PRELUDE_TEXT, SYSTEM_HEADERS
+
+__all__ = ["PRELUDE_DEFINES", "PRELUDE_NAME", "PRELUDE_TEXT", "SYSTEM_HEADERS"]

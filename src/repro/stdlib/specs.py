@@ -1,0 +1,141 @@
+"""The annotated ANSI standard library (paper section 4, Appendix B).
+
+"The standard library provides some allocation and deallocation
+routines. The basic allocator, malloc, is specified as
+``null out only void *malloc (size_t size)``. The deallocator, free, is
+specified as ``void free (null out only void *ptr)``. There is nothing
+special about malloc and free — their behavior can be described entirely
+in terms of the provided annotations."
+
+The specifications below are written as annotated C declarations and
+parsed by this package's own frontend — the same mechanism user code
+uses, which keeps the standard library honest.
+"""
+
+from __future__ import annotations
+
+PRELUDE_NAME = "<standard-library>"
+
+#: Macro definitions every translation unit sees (LCLint's builtins).
+PRELUDE_DEFINES: dict[str, str] = {
+    "NULL": "((void *)0)",
+    "TRUE": "1",
+    "FALSE": "0",
+    "EXIT_SUCCESS": "0",
+    "EXIT_FAILURE": "1",
+    "EOF": "(-1)",
+    "RAND_MAX": "32767",
+}
+
+_TYPES = """
+typedef unsigned long size_t;
+typedef int bool;
+typedef long ptrdiff_t;
+typedef struct _FILE { int _fileno; } FILE;
+"""
+
+_STDLIB = """
+extern /*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);
+extern /*@null@*/ /*@only@*/ void *calloc(size_t nmemb, size_t size);
+extern /*@null@*/ /*@out@*/ /*@only@*/ void *
+    realloc(/*@null@*/ /*@only@*/ void *ptr, size_t size);
+extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);
+extern void exit(int status);
+extern void abort(void);
+extern int abs(int j);
+extern long labs(long j);
+extern int atoi(/*@temp@*/ char *nptr);
+extern long atol(/*@temp@*/ char *nptr);
+extern double atof(/*@temp@*/ char *nptr);
+extern int rand(void);
+extern void srand(unsigned int seed);
+extern /*@null@*/ /*@observer@*/ char *getenv(/*@temp@*/ char *name);
+extern int system(/*@null@*/ /*@temp@*/ char *command);
+"""
+
+_STRING = """
+extern /*@out@*/ /*@returned@*/ /*@unique@*/ char *
+    strcpy(/*@out@*/ /*@returned@*/ /*@unique@*/ char *s1, /*@temp@*/ char *s2);
+extern /*@returned@*/ char *
+    strncpy(/*@out@*/ /*@returned@*/ /*@unique@*/ char *s1,
+            /*@temp@*/ char *s2, size_t n);
+extern /*@returned@*/ /*@unique@*/ char *
+    strcat(/*@returned@*/ /*@unique@*/ char *s1, /*@temp@*/ char *s2);
+extern /*@returned@*/ char *
+    strncat(/*@returned@*/ /*@unique@*/ char *s1, /*@temp@*/ char *s2, size_t n);
+extern int strcmp(/*@temp@*/ char *s1, /*@temp@*/ char *s2);
+extern int strncmp(/*@temp@*/ char *s1, /*@temp@*/ char *s2, size_t n);
+extern size_t strlen(/*@temp@*/ char *s);
+extern /*@null@*/ /*@exposed@*/ char *strchr(/*@returned@*/ char *s, int c);
+extern /*@null@*/ /*@exposed@*/ char *strrchr(/*@returned@*/ char *s, int c);
+extern /*@null@*/ /*@exposed@*/ char *
+    strstr(/*@returned@*/ char *haystack, /*@temp@*/ char *needle);
+extern /*@returned@*/ void *
+    memcpy(/*@out@*/ /*@returned@*/ /*@unique@*/ void *s1,
+           /*@temp@*/ void *s2, size_t n);
+extern /*@returned@*/ void *
+    memmove(/*@out@*/ /*@returned@*/ void *s1, /*@temp@*/ void *s2, size_t n);
+extern /*@returned@*/ void *
+    memset(/*@out@*/ /*@returned@*/ void *s, int c, size_t n);
+extern int memcmp(/*@temp@*/ void *s1, /*@temp@*/ void *s2, size_t n);
+"""
+
+_STDIO = """
+extern /*@null@*/ /*@only@*/ FILE *
+    fopen(/*@temp@*/ char *filename, /*@temp@*/ char *mode);
+extern int fclose(/*@only@*/ FILE *stream);
+extern int fflush(/*@null@*/ /*@temp@*/ FILE *stream);
+extern int printf(/*@temp@*/ char *format, ...);
+extern int fprintf(/*@temp@*/ FILE *stream, /*@temp@*/ char *format, ...);
+extern int sprintf(/*@out@*/ /*@unique@*/ char *s, /*@temp@*/ char *format, ...);
+extern int scanf(/*@temp@*/ char *format, ...);
+extern int fscanf(/*@temp@*/ FILE *stream, /*@temp@*/ char *format, ...);
+extern int sscanf(/*@temp@*/ char *s, /*@temp@*/ char *format, ...);
+extern int getchar(void);
+extern int putchar(int c);
+extern int getc(/*@temp@*/ FILE *stream);
+extern int putc(int c, /*@temp@*/ FILE *stream);
+extern int fgetc(/*@temp@*/ FILE *stream);
+extern int fputc(int c, /*@temp@*/ FILE *stream);
+extern int fputs(/*@temp@*/ char *s, /*@temp@*/ FILE *stream);
+extern int puts(/*@temp@*/ char *s);
+extern /*@null@*/ /*@returned@*/ char *
+    fgets(/*@out@*/ /*@returned@*/ char *s, int n, /*@temp@*/ FILE *stream);
+extern size_t fread(/*@out@*/ void *ptr, size_t size, size_t nmemb,
+                    /*@temp@*/ FILE *stream);
+extern size_t fwrite(/*@temp@*/ void *ptr, size_t size, size_t nmemb,
+                     /*@temp@*/ FILE *stream);
+extern int remove(/*@temp@*/ char *filename);
+extern int rename(/*@temp@*/ char *old, /*@temp@*/ char *new_name);
+"""
+
+_ASSERT = """
+extern void assert(int expression);
+"""
+
+#: The prelude every checking run parses before user code.
+PRELUDE_TEXT = _TYPES + _STDLIB + _STRING + _STDIO + _ASSERT
+
+#: Contents served for #include <...> of standard headers. Each header
+#: re-declares its slice; redeclarations merge in the symbol table.
+SYSTEM_HEADERS: dict[str, str] = {
+    "stdlib.h": _TYPES + _STDLIB,
+    "string.h": _TYPES + _STRING,
+    "stdio.h": _TYPES + _STDIO,
+    "assert.h": _ASSERT,
+    "stddef.h": _TYPES,
+    "stdarg.h": "typedef char *va_list;\n",
+    "limits.h": "\n",
+    "ctype.h": (
+        "extern int isalpha(int c);\nextern int isdigit(int c);\n"
+        "extern int isspace(int c);\nextern int isupper(int c);\n"
+        "extern int islower(int c);\nextern int toupper(int c);\n"
+        "extern int tolower(int c);\n"
+    ),
+    "bool.h": "typedef int bool;\n",
+    "math.h": (
+        "extern double sqrt(double x);\nextern double pow(double x, double y);\n"
+        "extern double fabs(double x);\nextern double floor(double x);\n"
+        "extern double ceil(double x);\n"
+    ),
+}

@@ -1,0 +1,135 @@
+"""Deep-fidelity tests: the tracing engine reproduces the paper's
+section 5 point-by-point narration of Figure 6."""
+
+from repro.analysis.engine import trace_source
+
+FIG5 = """typedef /*@null@*/ struct _list {
+  /*@only@*/ char *this;
+  /*@null@*/ /*@only@*/ struct _list *next;
+} *list;
+
+extern /*@out@*/ /*@only@*/ void *smalloc (size_t);
+
+void list_addh (/*@temp@*/ list l, /*@only@*/ char *e)
+{
+  if (l != NULL)
+  {
+    while (l->next != NULL)
+    {
+      l = l->next;
+    }
+    l->next = (list) smalloc (sizeof (*l->next));
+    l->next->this = e;
+  }
+}
+"""
+
+
+def trace_of():
+    trace, messages = trace_source(FIG5, "list_addh")
+    return trace, messages
+
+
+def point(trace, label_part):
+    return next(p for p in trace if label_part in p.label)
+
+
+class TestEntryStates:
+    """Paper: 'Here, the dataflow values are set according to the
+    annotations and type definitions.'"""
+
+    def test_parameter_l(self):
+        trace, _ = trace_of()
+        entry = trace[0]
+        assert entry.label == "Function Entrance"
+        # possibly-null (typedef null), completely-defined, temp
+        assert entry.state_of("l") == "completely defined / possibly null / temp"
+
+    def test_parameter_e(self):
+        trace, _ = trace_of()
+        entry = trace[0]
+        # completely-defined, not-null, only
+        assert entry.state_of("e") == "completely defined / notnull / only"
+
+    def test_l_aliases_argl_at_entry(self):
+        trace, _ = trace_of()
+        assert trace[0].aliases_of("l") == ("arg1",)
+
+
+class TestLoopExit:
+    """Paper, point 7: 'l may alias argl or argl->next. In reality, l may
+    alias argl->next^i for any i >= 0 ... the only aliases of l that are
+    detected are argl and argl->next.'"""
+
+    def test_alias_set_is_exactly_the_papers(self):
+        trace, _ = trace_of()
+        after_loop = point(trace, "while")
+        assert after_loop.aliases_of("l") == ("arg1", "arg1->next")
+
+
+class TestAllocationAssignment:
+    """Paper, point 8: 'after the assignment l->next is characterized as
+    allocated, non-null, and only ... the state of argl->next is also
+    allocated, non-null, and only ... l is now characterized as
+    partially-defined.'"""
+
+    def test_l_next_state(self):
+        trace, _ = trace_of()
+        after = point(trace, "smalloc")
+        assert after.state_of("l->next") == "allocated / notnull / only"
+        assert after.state_of("arg1->next") == "allocated / notnull / only"
+
+    def test_l_becomes_partially_defined(self):
+        trace, _ = trace_of()
+        after = point(trace, "smalloc")
+        assert after.state_of("l").startswith("partially defined")
+
+
+class TestObligationTransfer:
+    """Paper: 'The assignment transfers the obligation to release
+    storage ... the allocation state of e becomes kept. ... Since e
+    aliases arg2, the allocation state of arg2 is also set to kept.'"""
+
+    def test_e_becomes_kept(self):
+        trace, _ = trace_of()
+        after = point(trace, "this = e")
+        assert after.state_of("e").endswith("kept")
+        assert after.state_of("arg2").endswith("kept")
+
+    def test_next_next_is_undefined(self):
+        trace, _ = trace_of()
+        after = point(trace, "this = e")
+        assert after.state_of("arg1->next->next").startswith("undefined")
+
+
+class TestConfluence:
+    """Paper, point 10: kept on the true branch, only on the false branch
+    -- 'LCLint reports this as a program anomaly. To prevent further
+    errors, the allocation state of e is set to a special error
+    marker.'"""
+
+    def test_e_poisoned_after_merge(self):
+        trace, _ = trace_of()
+        merged = point(trace, "if (")
+        assert merged.state_of("e").endswith("error")
+
+    def test_exit_messages_are_the_papers_two(self):
+        _, messages = trace_of()
+        texts = [m.text for m in messages]
+        assert len(texts) == 2
+        assert any("kept" in t and "only" in t for t in texts)
+        assert any("l->next->next" in t for t in texts)
+
+
+class TestTraceRendering:
+    def test_render_is_readable(self):
+        trace, _ = trace_of()
+        text = trace[0].render()
+        assert "Function Entrance" in text
+        assert "l:" in text
+
+    def test_trace_function_not_found(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            trace_source("int x;", "missing")

@@ -1,0 +1,144 @@
+"""Integration tests: multi-file programs, headers, cross-module checking."""
+
+from repro import Checker, Flags
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+
+class TestHeadersAndIncludes:
+    def test_annotations_flow_from_headers(self):
+        files = {
+            "alloc.h": (
+                "extern /*@null@*/ /*@only@*/ char *mk(int n);\n"
+                "extern void rel(/*@null@*/ /*@only@*/ char *p);\n"
+            ),
+            "use.c": (
+                '#include "alloc.h"\n'
+                "void f(void) {\n"
+                "  char *p = mk(4);\n"
+                "  if (p != NULL) { *p = 'x'; }\n"
+                "  rel(p);\n"
+                "}\n"
+            ),
+        }
+        result = Checker(flags=NOIMP).check_sources(files)
+        assert result.messages == []
+
+    def test_missing_release_across_modules(self):
+        files = {
+            "alloc.h": "extern /*@null@*/ /*@only@*/ char *mk(int n);\n",
+            "use.c": (
+                '#include "alloc.h"\n'
+                "void f(void) {\n"
+                "  char *p = mk(4);\n"
+                "  if (p != NULL) { *p = 'x'; }\n"
+                "}\n"
+            ),
+        }
+        result = Checker(flags=NOIMP).check_sources(files)
+        assert any(m.code is MessageCode.LEAK_SCOPE for m in result.messages)
+
+    def test_interface_seen_without_include(self):
+        """Like LCLint with interface libraries: the merged symbol table
+        lets a call site be checked against another unit's definition."""
+        files = {
+            "impl.c": "#include <stdlib.h>\n"
+                      "/*@null@*/ /*@only@*/ int *make(void) {\n"
+                      "  return (int *) malloc(sizeof(int));\n"
+                      "}\n",
+            "client.c": "extern /*@null@*/ /*@only@*/ int *make(void);\n"
+                        "int g(void) {\n"
+                        "  int *p = make();\n"
+                        "  return p == NULL ? 0 : 1;\n"
+                        "}\n",
+        }
+        result = Checker(flags=NOIMP).check_sources(files)
+        # client leaks p on the non-null path
+        assert any("leak" in m.code.slug for m in result.messages)
+
+    def test_messages_carry_the_right_filenames(self):
+        files = {
+            "one.c": "#include <stdlib.h>\nvoid f(char *p) { free(p); }\n",
+            "two.c": "#include <stdlib.h>\nvoid g(char *q) { free(q); }\n",
+        }
+        result = Checker(flags=NOIMP).check_sources(files)
+        names = {m.location.filename for m in result.messages}
+        assert names == {"one.c", "two.c"}
+
+    def test_include_guard_shared_header(self):
+        files = {
+            "shared.h": "#ifndef SHARED_H\n#define SHARED_H\n"
+                        "typedef struct { int v; } box;\n#endif\n",
+            "a.c": '#include "shared.h"\nint fa(box b) { return b.v; }\n',
+            "b.c": '#include "shared.h"\nint fb(box b) { return b.v; }\n',
+        }
+        result = Checker().check_sources(files)
+        assert result.messages == []
+
+
+class TestSuppressionEndToEnd:
+    def test_ignore_region_in_context(self):
+        source = """#include <stdlib.h>
+void noisy(char *p) {
+/*@ignore@*/
+  free(p);
+/*@end@*/
+}
+void still_noisy(char *p) {
+  free(p);
+}
+"""
+        result = Checker(flags=NOIMP).check_sources({"s.c": source})
+        assert len(result.messages) == 1
+        assert result.messages[0].location.line == 8
+        assert result.suppressed >= 1
+
+    def test_local_flag_region(self):
+        source = """#include <stdlib.h>
+/*@-memimplicit@*/
+void quiet(char *p) { free(p); }
+/*@+memimplicit@*/
+void loud(char *p) { free(p); }
+"""
+        result = Checker(flags=NOIMP).check_sources({"s.c": source})
+        lines = [m.location.line for m in result.messages]
+        assert lines == [5]
+
+
+class TestRelaxedAnnotations:
+    def test_relnull_field(self):
+        source = """#include <stdlib.h>
+        typedef struct _n {
+          /*@relnull@*/ char *label;  /* set before use by convention */
+          int v;
+        } *node;
+        int get(node n) { return n->label[0] + n->v; }
+        void put(node n) { n->label = NULL; }
+        """
+        result = Checker(flags=NOIMP).check_sources({"n.c": source})
+        assert result.messages == []
+
+    def test_partial_struct(self):
+        source = """typedef /*@partial@*/ struct { int a; int b; } *pair;
+        extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+        void init_a(/*@out@*/ pair p) { p->a = 1; }
+        """
+        result = Checker(flags=NOIMP).check_sources({"p.c": source})
+        assert result.messages == []
+
+
+class TestGlobalsLists:
+    def test_globals_state_tracked_through_calls(self):
+        source = """extern /*@null@*/ char *cache;
+        static void fill(void) /*@globals cache@*/ {
+          cache = "data";
+        }
+        char use(void) /*@globals cache@*/ {
+          fill();
+          if (cache != NULL) { return *cache; }
+          return ' ';
+        }
+        """
+        result = Checker(flags=NOIMP).check_sources({"g.c": source})
+        assert result.messages == []

@@ -1,0 +1,300 @@
+"""End-to-end reproduction of every figure in the paper.
+
+Each test checks the exact program text from the paper (modulo OCR
+cleanup) and asserts the messages LCLint is reported to produce, with
+the same two-part shape and source lines.
+"""
+
+from repro import Flags, check_source
+from repro.messages.message import MessageCode
+
+#: Section 6 runs with -allimponly "for expository purposes"; the small
+#: sample.c figures present their output the same way.
+NOIMP = Flags.from_args(["-allimponly"])
+
+FIG1 = """extern char *gname;
+
+void setName (char *pname)
+{
+  gname = pname;
+}
+"""
+
+FIG2 = """extern char *gname;
+
+void setName (/*@null@*/ char *pname)
+{
+  gname = pname;
+}
+"""
+
+FIG3 = """extern char *gname;
+
+extern /*@truenull@*/ int isNull (/*@null@*/ char *x);
+
+void setName (/*@null@*/ char *pname)
+{
+  if (!isNull (pname)) {
+    gname = pname;
+  }
+}
+"""
+
+FIG4 = """extern /*@only@*/ char *gname;
+
+void setName (/*@temp@*/ char *pname)
+{
+  gname = pname;
+}
+"""
+
+FIG5 = """typedef /*@null@*/ struct _list
+{
+  /*@only@*/ char *this;
+  /*@null@*/ /*@only@*/ struct _list *next;
+} *list;
+
+extern /*@out@*/ /*@only@*/ void *
+smalloc (size_t);
+
+void
+list_addh (/*@temp@*/ list l,
+           /*@only@*/ char *e)
+{
+  if (l != NULL)
+  {
+    while (l->next != NULL)
+    {
+      l = l->next;
+    }
+
+    l->next = (list)
+      smalloc (sizeof (*l->next));
+    l->next->this = e;
+  }
+}
+"""
+
+
+class TestFigure1:
+    def test_unannotated_sample_is_clean_without_implicit_annotations(self):
+        result = check_source(FIG1, "sample.c", flags=NOIMP)
+        assert result.messages == []
+
+    def test_with_implicit_only_the_lost_reference_is_reported(self):
+        # Figure 1's discussion: "line 4 loses the last reference to this
+        # storage and it can never be deallocated" -- visible once gname
+        # is (implicitly) only.
+        result = check_source(FIG1, "sample.c", flags=Flags())
+        assert any(
+            m.code in (MessageCode.LEAK_OVERWRITE, MessageCode.IMPLICIT_TRANSFER)
+            for m in result.messages
+        )
+
+
+class TestFigure2:
+    def test_exact_message(self):
+        result = check_source(FIG2, "sample.c", flags=NOIMP)
+        assert len(result.messages) == 1
+        msg = result.messages[0]
+        assert msg.code is MessageCode.NULL_RET_GLOBAL
+        assert msg.location.line == 6
+        assert msg.text == (
+            "Function returns with non-null global gname referencing "
+            "null storage"
+        )
+        assert len(msg.subs) == 1
+        assert msg.subs[0].location.line == 5
+        assert msg.subs[0].text == "Storage gname may become null"
+
+    def test_fix_by_null_annotation_on_global(self):
+        fixed = FIG2.replace(
+            "extern char *gname;", "extern /*@null@*/ char *gname;"
+        )
+        assert check_source(fixed, "sample.c", flags=NOIMP).messages == []
+
+    def test_fix_by_removing_param_annotation(self):
+        fixed = FIG2.replace("/*@null@*/ ", "")
+        assert check_source(fixed, "sample.c", flags=NOIMP).messages == []
+
+    def test_reassignment_before_return_is_no_anomaly(self):
+        # "It would not be an anomaly to assign gname to NULL in the body
+        # of setName, as long as it is re-assigned to a non-null value
+        # before the function returns."
+        body = """extern char *gname;
+        void setName (/*@null@*/ char *pname)
+        {
+          gname = pname;
+          gname = "default";
+        }
+        """
+        assert check_source(body, "sample.c", flags=NOIMP).messages == []
+
+
+class TestFigure3:
+    def test_truenull_fix_is_clean(self):
+        assert check_source(FIG3, "sample.c", flags=NOIMP).messages == []
+
+
+class TestFigure4:
+    def test_two_messages(self):
+        result = check_source(FIG4, "sample.c", flags=NOIMP)
+        assert [m.code for m in result.messages] == [
+            MessageCode.LEAK_OVERWRITE,
+            MessageCode.TEMP_TO_ONLY,
+        ]
+
+    def test_leak_message_shape(self):
+        result = check_source(FIG4, "sample.c", flags=NOIMP)
+        leak = result.messages[0]
+        assert leak.location.line == 5
+        assert leak.text == (
+            "Only storage gname not released before assignment: gname = pname"
+        )
+        assert leak.subs[0].location.line == 1
+        assert leak.subs[0].text == "Storage gname becomes only"
+
+    def test_temp_message_shape(self):
+        result = check_source(FIG4, "sample.c", flags=NOIMP)
+        temp = result.messages[1]
+        assert temp.location.line == 5
+        assert temp.text.startswith("Temp storage pname assigned to only")
+        assert temp.subs[0].location.line == 3
+        assert temp.subs[0].text == "Storage pname becomes temp"
+
+    def test_fix_by_only_parameter(self):
+        fixed = FIG4.replace("/*@temp@*/", "/*@only@*/")
+        result = check_source(fixed, "sample.c", flags=NOIMP)
+        # gname still leaks (not released before assignment), but the
+        # transfer itself is now consistent.
+        assert all(m.code is not MessageCode.TEMP_TO_ONLY for m in result.messages)
+
+
+class TestFigure5:
+    def test_exactly_the_two_paper_anomalies(self):
+        result = check_source(FIG5, "list.c")
+        assert len(result.messages) == 2
+        confluence, incomplete = result.messages
+        assert confluence.code is MessageCode.CONFLUENCE
+        assert "kept" in confluence.text and "only" in confluence.text
+        assert "e" in confluence.text.split()
+        assert incomplete.code is MessageCode.INCOMPLETE_DEF
+        assert "l->next->next" in incomplete.text
+
+    def test_confluence_reported_at_the_if(self):
+        result = check_source(FIG5, "list.c")
+        confluence = result.messages[0]
+        assert confluence.location.line == 14  # the if statement
+
+    def test_fixed_version_is_clean(self):
+        fixed = """typedef /*@null@*/ struct _list
+        {
+          /*@only@*/ char *this;
+          /*@null@*/ /*@only@*/ struct _list *next;
+        } *list;
+
+        extern /*@out@*/ /*@only@*/ void *smalloc (size_t);
+        extern void free_string (/*@only@*/ char *s);
+
+        void list_addh (/*@temp@*/ list l, /*@only@*/ char *e)
+        {
+          if (l != NULL)
+          {
+            while (l->next != NULL)
+            {
+              l = l->next;
+            }
+            l->next = (list) smalloc (sizeof (*l->next));
+            l->next->this = e;
+            l->next->next = NULL;
+          }
+          else
+          {
+            free_string (e);
+          }
+        }
+        """
+        assert check_source(fixed, "list.c").messages == []
+
+
+FIG7 = """#include <stdlib.h>
+
+typedef struct _elem { int val; struct _elem *next; } *ercElem;
+
+typedef struct {
+  ercElem vals;
+  int size;
+} *erc;
+
+extern void error (/*@temp@*/ char *msg);
+
+erc erc_create (void)
+{
+  erc c = (erc) malloc (sizeof (*c));
+
+  if (c == NULL) {
+    error ("malloc returned null");
+    exit (EXIT_FAILURE);
+  }
+
+  c->vals = NULL;
+  c->size = 0;
+  return c;
+}
+"""
+
+
+class TestFigure7:
+    def test_null_vals_derivable_from_return(self):
+        result = check_source(FIG7, "erc.c", flags=NOIMP)
+        null_msgs = [m for m in result.messages if m.code is MessageCode.NULL_RET_VALUE]
+        assert len(null_msgs) == 1
+        msg = null_msgs[0]
+        assert msg.text == "Null storage c->vals derivable from return value: c"
+        assert msg.subs[0].text == "Storage c->vals becomes null"
+        assert msg.subs[0].location.line == 21
+
+    def test_allimponly_also_reports_missing_only_on_return(self):
+        # Section 6: "Two messages concern the return statements in
+        # erc_create and erc_sprint ... a memory leak is suspected."
+        result = check_source(FIG7, "erc.c", flags=NOIMP)
+        assert any(m.code is MessageCode.LEAK_RETURN for m in result.messages)
+
+    def test_fix_with_null_field_annotation(self):
+        fixed = FIG7.replace("ercElem vals;", "/*@null@*/ ercElem vals;")
+        result = check_source(fixed, "erc.c", flags=NOIMP)
+        assert all(m.code is not MessageCode.NULL_RET_VALUE for m in result.messages)
+
+    def test_implicit_annotations_make_it_clean(self):
+        fixed = FIG7.replace("ercElem vals;", "/*@null@*/ ercElem vals;")
+        result = check_source(fixed, "erc.c", flags=Flags())
+        assert result.messages == []
+
+
+FIG8 = """#include <string.h>
+
+typedef struct {
+  char *name;
+  int salary;
+} employee;
+
+int employee_setName (employee *e, char *s)
+{
+  strcpy (e->name, s);
+  return 1;
+}
+"""
+
+
+class TestFigure8:
+    def test_exact_unique_message(self):
+        result = check_source(FIG8, "employee.c", flags=NOIMP)
+        assert len(result.messages) == 1
+        assert result.messages[0].text == (
+            "Parameter 1 (e->name) to function strcpy is declared unique "
+            "but may be aliased externally by parameter 2 (s)"
+        )
+
+    def test_unique_annotation_documents_and_fixes(self):
+        fixed = FIG8.replace("char *s)", "/*@unique@*/ char *s)")
+        assert check_source(fixed, "employee.c", flags=NOIMP).messages == []

@@ -1,0 +1,164 @@
+"""Property tests for the analysis: generated programs, store algebra,
+CFG invariants, and static/dynamic agreement on clean code."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Checker
+from repro.analysis.cfg import build_cfg
+from repro.analysis.states import AllocState, DefState, NullState, RefState
+from repro.analysis.storage import Ref
+from repro.analysis.store import Store
+from repro.bench.generator import generate_program
+
+# ---------------------------------------------------------------------------
+# random structured C programs (statement soup over a fixed frame)
+# ---------------------------------------------------------------------------
+
+_COND = st.sampled_from(["x > 0", "y != 0", "x == y", "x < 10", "y"])
+_SIMPLE = st.sampled_from(
+    ["x = x + 1;", "y = x * 2;", "x = y - 3;", "y = y ^ x;", "x = 0;",
+     "y = 1;", ";"]
+)
+
+
+def _stmts() -> st.SearchStrategy[str]:
+    def extend(children):
+        blocks = st.lists(children, min_size=1, max_size=3).map(
+            lambda body: "{ " + " ".join(body) + " }"
+        )
+        return st.one_of(
+            st.tuples(_COND, blocks).map(
+                lambda t: f"if ({t[0]}) {t[1]}"
+            ),
+            st.tuples(_COND, blocks, blocks).map(
+                lambda t: f"if ({t[0]}) {t[1]} else {t[2]}"
+            ),
+            st.tuples(_COND, blocks).map(
+                lambda t: f"while ({t[0]}) {t[1]}"
+            ),
+            st.tuples(_COND, blocks).map(
+                lambda t: f"do {t[1]} while ({t[0]});"
+            ),
+            blocks,
+        )
+
+    return st.recursive(_SIMPLE, extend, max_leaves=14)
+
+
+def _program(statements: list[str]) -> str:
+    body = "\n  ".join(statements)
+    return f"int f(int x, int y) {{\n  {body}\n  return x + y;\n}}\n"
+
+
+class TestGeneratedPrograms:
+    @given(st.lists(_stmts(), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_checker_terminates_and_is_quiet_on_scalar_code(self, stmts):
+        """Scalar-only structured programs have no memory errors; the
+        checker must terminate and stay silent on them."""
+        result = Checker().check_sources({"gen.c": _program(stmts)})
+        assert result.messages == []
+
+    @given(st.lists(_stmts(), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_cfg_is_always_a_dag(self, stmts):
+        parsed = Checker().parse_unit(_program(stmts), "gen.c")
+        cfg = build_cfg(parsed.unit.functions()[0])
+        assert cfg.is_acyclic()
+        assert cfg.execution_points() >= 2  # entry and something
+
+    @given(st.lists(_stmts(), min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_interpreter_agrees_programs_are_clean(self, stmts):
+        """The runtime baseline sees no memory events on scalar code."""
+        from repro.runtime.interp import run_program
+
+        source = _program(stmts)
+        result = run_program(
+            "#include <stdio.h>\n" + source
+            + "int main(void) { printf(\"%d\", f(3, 4)); return 0; }\n",
+            max_steps=200_000,
+        )
+        assert result.events == []
+
+
+class TestGeneratorPrograms:
+    @given(st.integers(1, 3), st.integers(1, 3), st.integers(0, 2),
+           st.integers(0, 2**30))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_annotated_programs_check_clean(
+        self, modules, fillers, scenarios, seed
+    ):
+        program = generate_program(
+            modules=modules, filler_functions=fillers,
+            scenarios_per_module=scenarios, seed=seed,
+        )
+        result = Checker().check_sources(dict(program.files))
+        assert result.messages == [], [m.render() for m in result.messages]
+
+
+# ---------------------------------------------------------------------------
+# store algebra
+# ---------------------------------------------------------------------------
+
+
+class _Env:
+    def base_default(self, ref):
+        return RefState()
+
+    def derived_default(self, ref, parent):
+        return RefState(definition=parent.definition)
+
+
+_refs = st.sampled_from(
+    [Ref.local("a"), Ref.local("b"), Ref.global_("g"),
+     Ref.local("a").arrow("f"), Ref.arg(0)]
+)
+_states = st.builds(
+    RefState,
+    st.sampled_from(list(DefState)),
+    st.sampled_from(list(NullState)),
+    st.sampled_from(list(AllocState)),
+)
+
+
+def _store(assignments: list[tuple[Ref, RefState]]) -> Store:
+    store = Store(_Env())
+    for ref, state in assignments:
+        store.set_state(ref, state)
+    return store
+
+
+_store_contents = st.lists(st.tuples(_refs, _states), max_size=5)
+
+
+class TestStoreMergeAlgebra:
+    @given(_store_contents, _store_contents)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_commutative_on_states(self, a_items, b_items):
+        a1, b1 = _store(a_items), _store(b_items)
+        a2, b2 = _store(a_items), _store(b_items)
+        left, _ = a1.merge(b1)
+        right, _ = b2.merge(a2)
+        keys = set(left.states) | set(right.states)
+        for key in keys:
+            assert left.state(key) == right.state(key)
+
+    @given(_store_contents)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_idempotent(self, items):
+        a, b = _store(items), _store(items)
+        merged, reports = a.merge(b)
+        assert reports == []
+        for ref, state in items:
+            assert merged.state(ref) == _store(items).state(ref)
+
+    @given(_store_contents, _store_contents)
+    @settings(max_examples=50, deadline=None)
+    def test_unreachable_is_identity(self, a_items, b_items):
+        a, b = _store(a_items), _store(b_items)
+        b.unreachable = True
+        merged, reports = a.merge(b)
+        assert reports == []
+        for ref in a.states:
+            assert merged.state(ref) == a.state(ref)

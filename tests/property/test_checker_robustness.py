@@ -1,0 +1,98 @@
+"""Robustness: the checker and interpreter terminate on arbitrary
+pointer-manipulating programs without crashing.
+
+The checker is allowed to report anything on these programs (most have
+real bugs); what is pinned is totality — no exceptions, no hangs — and
+agreement on basic outcomes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Checker
+from repro.analysis.cfg import build_cfg
+
+_PTR_STMTS = st.sampled_from([
+    "p = (char *) malloc(8);",
+    "q = p;",
+    "p = q;",
+    "free(p);",
+    "free(q);",
+    "p = NULL;",
+    "if (p != NULL) { *p = 'x'; }",
+    "if (p == NULL) { return; }",
+    "n = n + 1;",
+    "p = s;",
+])
+
+
+def _program(statements: list[str]) -> str:
+    body = "\n  ".join(statements)
+    return (
+        "#include <stdlib.h>\n"
+        "void f(/*@null@*/ /*@temp@*/ char *s, int n) {\n"
+        "  char *p = NULL;\n"
+        "  char *q = NULL;\n"
+        f"  {body}\n"
+        "}\n"
+    )
+
+
+_LOOPY = st.sampled_from([
+    "while (n > 0) {{ {inner} n = n - 1; }}",
+    "for (n = 0; n < 4; n++) {{ {inner} }}",
+    "do {{ {inner} }} while (n);",
+    "if (n) {{ {inner} }} else {{ {inner} }}",
+    "switch (n) {{ case 1: {inner} break; default: {inner} }}",
+])
+
+
+@st.composite
+def _nested_programs(draw):
+    depth = draw(st.integers(0, 3))
+    inner = " ".join(draw(st.lists(_PTR_STMTS, min_size=1, max_size=4)))
+    for _ in range(depth):
+        shape = draw(_LOOPY)
+        inner = shape.format(inner=inner)
+    extra = draw(st.lists(_PTR_STMTS, max_size=3))
+    return _program([inner] + extra)
+
+
+class TestCheckerTotality:
+    @given(_nested_programs())
+    @settings(max_examples=80, deadline=None)
+    def test_checker_never_crashes(self, source):
+        result = Checker().check_sources({"fuzz.c": source})
+        for message in result.messages:
+            assert message.location.filename == "fuzz.c"
+            assert message.render()
+
+    @given(_nested_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_cfg_always_dag(self, source):
+        parsed = Checker().parse_unit(source, "fuzz.c")
+        for fdef in parsed.unit.functions():
+            assert build_cfg(fdef).is_acyclic()
+
+    @given(_nested_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_messages_deterministic(self, source):
+        a = Checker().check_sources({"fuzz.c": source})
+        b = Checker().check_sources({"fuzz.c": source})
+        assert [m.render() for m in a.messages] == [
+            m.render() for m in b.messages
+        ]
+
+    @given(_nested_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_flags_only_remove_messages(self, source):
+        """Disabling check classes never creates new messages."""
+        from repro import Flags
+
+        full = Checker().check_sources({"fuzz.c": source})
+        relaxed_flags = Flags.from_args(
+            ["-mustfree", "-usereleased", "-branchstate"]
+        )
+        relaxed = Checker(flags=relaxed_flags).check_sources({"fuzz.c": source})
+        full_texts = {m.render() for m in full.messages}
+        for message in relaxed.messages:
+            assert message.render() in full_texts

@@ -1,0 +1,103 @@
+"""Property tests for the dataflow lattices (confluence algebra)."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.states import (
+    AllocState,
+    DefState,
+    NullState,
+    RefState,
+    merge_alloc,
+    merge_def,
+    merge_null,
+)
+
+def_states = st.sampled_from(list(DefState))
+null_states = st.sampled_from(list(NullState))
+alloc_states = st.sampled_from(list(AllocState))
+ref_states = st.builds(RefState, def_states, null_states, alloc_states)
+
+
+class TestMergeAlgebra:
+    @given(def_states, def_states)
+    def test_def_merge_commutative(self, a, b):
+        assert merge_def(a, b)[0] is merge_def(b, a)[0]
+
+    @given(def_states)
+    def test_def_merge_idempotent(self, a):
+        merged, anomaly = merge_def(a, a)
+        assert merged is a
+        assert anomaly is None
+
+    @given(null_states, null_states)
+    def test_null_merge_commutative(self, a, b):
+        assert merge_null(a, b) is merge_null(b, a)
+
+    @given(null_states)
+    def test_null_merge_idempotent(self, a):
+        assert merge_null(a, a) is a
+
+    @given(null_states, null_states, null_states)
+    def test_null_merge_associative(self, a, b, c):
+        assert merge_null(merge_null(a, b), c) is merge_null(a, merge_null(b, c))
+
+    @given(alloc_states, alloc_states)
+    def test_alloc_merge_commutative(self, a, b):
+        assert merge_alloc(a, b)[0] is merge_alloc(b, a)[0]
+
+    @given(alloc_states)
+    def test_alloc_merge_idempotent(self, a):
+        merged, anomaly = merge_alloc(a, a)
+        assert merged is a
+        assert anomaly is None
+
+    @given(alloc_states, alloc_states)
+    def test_alloc_anomaly_implies_error(self, a, b):
+        merged, anomaly = merge_alloc(a, b)
+        if anomaly is not None:
+            assert merged is AllocState.ERROR
+
+    @given(def_states, def_states)
+    def test_def_merge_never_invents_definedness(self, a, b):
+        """The merge uses the weakest assumption: a merged DEFINED state
+        requires both sides DEFINED."""
+        merged, _ = merge_def(a, b)
+        if merged is DefState.DEFINED:
+            assert a is DefState.DEFINED and b is DefState.DEFINED
+
+    @given(null_states, null_states)
+    def test_null_merge_preserves_possible_nullness(self, a, b):
+        """If either side may be null, the merge may be null (or is a
+        relaxed state)."""
+        merged = merge_null(a, b)
+        if a.possibly_null() or b.possibly_null():
+            assert merged.possibly_null() or merged in (
+                NullState.RELNULL, NullState.UNKNOWN,
+            )
+
+
+class TestRefStateMerge:
+    @given(ref_states, ref_states)
+    def test_commutative(self, a, b):
+        left, _ = a.merged(b)
+        right, _ = b.merged(a)
+        assert left == right
+
+    @given(ref_states)
+    def test_idempotent_and_anomaly_free(self, a):
+        merged, anomalies = a.merged(a)
+        assert merged == a
+        assert anomalies == []
+
+    @given(ref_states, ref_states)
+    def test_total(self, a, b):
+        merged, anomalies = a.merged(b)
+        assert isinstance(merged, RefState)
+        assert all(hasattr(x, "describe") for x in anomalies)
+
+    @given(ref_states, ref_states)
+    def test_error_states_absorb(self, a, b):
+        poisoned = a.with_alloc(AllocState.ERROR)
+        merged, anomalies = poisoned.merged(b)
+        assert merged.alloc is AllocState.ERROR
+        assert not any(x.kind == "alloc" for x in anomalies)

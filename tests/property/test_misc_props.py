@@ -1,0 +1,105 @@
+"""Property tests: flag configurations, suppression filtering, db-example
+rendering, and runtime determinism."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Checker, Flags
+from repro.bench.dbexample import FINAL_STAGE, db_sources
+from repro.flags.registry import FLAG_REGISTRY
+from repro.frontend.source import Location
+from repro.messages.message import Message, MessageCode
+from repro.messages.suppress import SuppressionTable, _LineIgnore, _Region
+
+_flag_names = sorted(FLAG_REGISTRY)
+_flag_configs = st.dictionaries(
+    st.sampled_from(_flag_names), st.booleans(), max_size=6
+)
+
+BUGGY = """#include <stdlib.h>
+void f(/*@null@*/ char *p, int c) {
+    char *q = (char *) malloc(4);
+    if (c) { free(q); }
+    *p = 'x';
+}
+"""
+
+
+class TestFlagConfigurations:
+    @given(_flag_configs)
+    @settings(max_examples=40, deadline=None)
+    def test_any_flag_config_is_safe(self, config):
+        flags = Flags(dict(config))
+        result = Checker(flags=flags).check_sources({"b.c": BUGGY})
+        for message in result.messages:
+            assert flags.enabled(message.code.flag)
+
+    @given(_flag_configs)
+    @settings(max_examples=20, deadline=None)
+    def test_all_off_silences_everything(self, config):
+        silenced = {info.name: False for info in FLAG_REGISTRY.values()
+                    if info.category not in ("implicit", "behaviour")}
+        flags = Flags(silenced)
+        result = Checker(flags=flags).check_sources({"b.c": BUGGY})
+        assert result.messages == []
+
+
+def _msg(line, code=MessageCode.NULL_DEREF, filename="x.c"):
+    return Message(code, Location(filename, line, 1), f"m{line}")
+
+
+class TestSuppressionProperties:
+    @given(st.lists(st.integers(1, 50), max_size=12),
+           st.integers(1, 50), st.integers(1, 50))
+    @settings(max_examples=60)
+    def test_region_filter_partitions(self, lines, lo, hi):
+        start, end = min(lo, hi), max(lo, hi)
+        table = SuppressionTable()
+        table.regions.append(_Region("x.c", start, end, None))
+        msgs = [_msg(line) for line in lines]
+        kept, dropped = table.filter(msgs)
+        assert len(kept) + dropped == len(msgs)
+        for message in kept:
+            assert not (start <= message.location.line <= end)
+
+    @given(st.lists(st.integers(1, 10), min_size=1, max_size=10),
+           st.integers(1, 5))
+    @settings(max_examples=60)
+    def test_line_budget_never_overdrawn(self, lines, budget):
+        table = SuppressionTable()
+        table.line_ignores.append(_LineIgnore("x.c", 5, budget))
+        msgs = [_msg(line) for line in lines]
+        kept, dropped = table.filter(msgs)
+        on_line = sum(1 for line in lines if line == 5)
+        assert dropped == min(budget, on_line)
+        assert len(kept) == len(msgs) - dropped
+
+
+class TestDbExampleProperties:
+    @given(st.integers(0, FINAL_STAGE))
+    @settings(max_examples=10, deadline=None)
+    def test_rendering_deterministic(self, stage):
+        assert db_sources(stage) == db_sources(stage)
+
+    @given(st.integers(0, FINAL_STAGE - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_later_stages_only_add_text(self, stage):
+        early = db_sources(stage)
+        late = db_sources(stage + 1)
+        assert set(early) == set(late)
+        # annotations only accumulate
+        for name in early:
+            assert early[name].count("/*@") <= late[name].count("/*@")
+
+
+class TestRuntimeDeterminism:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_seeded_rand_reproducible(self, seed):
+        from repro.runtime.interp import run_program
+
+        src = (
+            "#include <stdlib.h>\n#include <stdio.h>\n"
+            "int main(void) { srand(%d); printf(\"%%d %%d\", rand(), rand());"
+            " return 0; }" % seed
+        )
+        assert run_program(src).output == run_program(src).output

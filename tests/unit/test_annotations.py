@@ -1,0 +1,116 @@
+"""Tests for annotation parsing and combination rules."""
+
+from repro.annotations.kinds import (
+    AllocAnn,
+    AnnotationSet,
+    DefAnn,
+    ExposureAnn,
+    NullAnn,
+)
+from repro.annotations.parse import AnnotationBuilder, parse_spec_words
+from repro.frontend.source import BUILTIN_LOCATION
+
+
+def build(*payloads):
+    b = AnnotationBuilder()
+    for p in payloads:
+        b.add_payload(p, BUILTIN_LOCATION)
+    return b
+
+
+class TestParsing:
+    def test_each_category(self):
+        ann = parse_spec_words("null out only observer unique returned")
+        assert ann.null is NullAnn.NULL
+        assert ann.definition is DefAnn.OUT
+        assert ann.alloc is AllocAnn.ONLY
+        assert ann.exposure is ExposureAnn.OBSERVER
+        assert ann.unique
+        assert ann.returned
+
+    def test_all_null_annotations(self):
+        assert parse_spec_words("notnull").null is NullAnn.NOTNULL
+        assert parse_spec_words("relnull").null is NullAnn.RELNULL
+
+    def test_all_definition_annotations(self):
+        for word, member in [("out", DefAnn.OUT), ("in", DefAnn.IN),
+                             ("partial", DefAnn.PARTIAL), ("reldef", DefAnn.RELDEF),
+                             ("undef", DefAnn.UNDEF)]:
+            assert parse_spec_words(word).definition is member
+
+    def test_all_allocation_annotations(self):
+        for word, member in [("only", AllocAnn.ONLY), ("keep", AllocAnn.KEEP),
+                             ("temp", AllocAnn.TEMP), ("owned", AllocAnn.OWNED),
+                             ("dependent", AllocAnn.DEPENDENT),
+                             ("shared", AllocAnn.SHARED)]:
+            assert parse_spec_words(word).alloc is member
+
+    def test_truenull_falsenull(self):
+        assert parse_spec_words("truenull").truenull
+        assert parse_spec_words("falsenull").falsenull
+
+    def test_names_preserved_in_order(self):
+        ann = parse_spec_words("null only")
+        assert ann.names == ("null", "only")
+
+    def test_empty(self):
+        assert parse_spec_words("").is_empty()
+
+    def test_multiple_payloads_accumulate(self):
+        ann = build("null", "only").build()
+        assert ann.null is NullAnn.NULL
+        assert ann.alloc is AllocAnn.ONLY
+
+
+class TestProblems:
+    def test_same_category_conflict(self):
+        b = build("null notnull")
+        assert len(b.problems) == 1
+        assert "incompatible" in b.problems[0].description
+
+    def test_alloc_conflict(self):
+        b = build("only temp")
+        assert b.problems
+
+    def test_truenull_falsenull_conflict(self):
+        b = build("truenull falsenull")
+        assert b.problems
+
+    def test_duplicate_same_word_tolerated(self):
+        b = build("null null")
+        assert not b.problems
+
+    def test_unknown_word(self):
+        b = build("frobnicate")
+        assert "unrecognized" in b.problems[0].description
+
+
+class TestMergedUnder:
+    def test_declaration_overrides_typedef(self):
+        decl = parse_spec_words("notnull")
+        tdef = parse_spec_words("null only")
+        merged = decl.merged_under(tdef)
+        assert merged.null is NullAnn.NOTNULL  # notnull wins over typedef null
+        assert merged.alloc is AllocAnn.ONLY   # inherited
+
+    def test_empty_inherits_everything(self):
+        tdef = parse_spec_words("null temp")
+        merged = AnnotationSet().merged_under(tdef)
+        assert merged.null is NullAnn.NULL
+        assert merged.alloc is AllocAnn.TEMP
+
+    def test_boolean_flags_or(self):
+        a = parse_spec_words("unique")
+        b = parse_spec_words("returned")
+        merged = a.merged_under(b)
+        assert merged.unique and merged.returned
+
+
+class TestAnnotationSetHelpers:
+    def test_with_alloc(self):
+        ann = AnnotationSet().with_alloc(AllocAnn.ONLY)
+        assert ann.alloc is AllocAnn.ONLY
+
+    def test_describe(self):
+        assert parse_spec_words("null only").describe() == "null only"
+        assert AnnotationSet().describe() == "<none>"

@@ -1,0 +1,158 @@
+"""Tests for the benchmark substrate: generator, seeding, db example."""
+
+from repro import Checker, Flags
+from repro.bench.dbexample import FINAL_STAGE, annotation_census, db_sources
+from repro.bench.generator import (
+    generate_program,
+    generate_program_of_size,
+    strip_annotations,
+)
+from repro.bench.seeding import (
+    BugKind,
+    RUNTIME_SIGNATURES,
+    STATIC_SIGNATURES,
+    function_line_ranges,
+    generate_seeded_program,
+    match_static_detections,
+)
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_program(modules=2, seed=7)
+        b = generate_program(modules=2, seed=7)
+        assert a.files == b.files
+
+    def test_different_seeds_differ(self):
+        a = generate_program(modules=2, seed=7)
+        b = generate_program(modules=2, seed=8)
+        assert a.files != b.files
+
+    def test_checks_clean(self):
+        program = generate_program(modules=2, filler_functions=3,
+                                   scenarios_per_module=2)
+        result = Checker().check_sources(dict(program.files))
+        assert result.messages == []
+
+    def test_size_targeting(self):
+        for target in (800, 2500):
+            program = generate_program_of_size(target)
+            assert abs(program.loc - target) < target * 0.4
+
+    def test_strip_annotations(self):
+        text = "extern /*@null@*/ /*@only@*/ char *g;\n/* keep me */\n"
+        stripped = strip_annotations(text)
+        assert "/*@" not in stripped
+        assert "keep me" in stripped
+        assert "char *g;" in stripped
+
+    def test_stripped_program_draws_messages(self):
+        program = generate_program(modules=2, filler_functions=1,
+                                   scenarios_per_module=1)
+        stripped = program.stripped()
+        result = Checker().check_sources(dict(stripped.files))
+        assert len(result.messages) > 0
+
+    def test_runs_clean_under_interpreter(self):
+        from repro.runtime.interp import run_program
+
+        program = generate_program(modules=1, filler_functions=1,
+                                   scenarios_per_module=1)
+        result = run_program(dict(program.files), max_steps=2_000_000)
+        assert result.exit_code == 0
+        assert result.events == []
+        assert result.leaked_blocks == 0
+
+
+class TestSeeding:
+    def test_signature_tables_total(self):
+        for kind in BugKind:
+            assert kind in STATIC_SIGNATURES
+            assert kind in RUNTIME_SIGNATURES
+
+    def test_one_bug_per_scenario(self):
+        seeded = generate_seeded_program(modules=2, bugs_per_kind=1)
+        scenario_names = [b.scenario for b in seeded.bugs]
+        assert len(scenario_names) == len(set(scenario_names))
+        assert len(seeded.bugs) == len(BugKind)
+
+    def test_static_finds_all_seeded_bugs(self):
+        seeded = generate_seeded_program(modules=2, bugs_per_kind=1)
+        result = Checker().check_sources(dict(seeded.program.files))
+        ranges = function_line_ranges(result.units)
+        found = match_static_detections(seeded.bugs, result.messages, ranges)
+        missing = [b.kind.value for b in seeded.bugs if not found[b.bug_id]]
+        assert missing == []
+
+    def test_clean_scenarios_stay_clean(self):
+        seeded = generate_seeded_program(modules=2, bugs_per_kind=1,
+                                         clean_scenarios=4)
+        result = Checker().check_sources(dict(seeded.program.files))
+        ranges = function_line_ranges(result.units)
+        spans = [ranges[n] for n in seeded.clean_scenarios]
+        hits = [
+            m for m in result.messages
+            if any(f == m.location.filename and s <= m.location.line <= e
+                   for f, s, e in spans)
+        ]
+        assert hits == []
+
+    def test_subset_of_kinds(self):
+        seeded = generate_seeded_program(
+            modules=1, bugs_per_kind=2, kinds=[BugKind.LEAK]
+        )
+        assert all(b.kind is BugKind.LEAK for b in seeded.bugs)
+        assert len(seeded.bugs) == 2
+
+
+class TestDbExample:
+    def test_stages_render_distinct_programs(self):
+        texts = [tuple(sorted(db_sources(s).items()))
+                 for s in range(FINAL_STAGE + 1)]
+        assert len(set(texts)) == FINAL_STAGE + 1
+
+    def test_stage0_has_no_annotations(self):
+        for text in db_sources(0).values():
+            assert "/*@" not in text
+
+    def test_final_stage_checks_clean_under_both_flag_settings(self):
+        files = db_sources(FINAL_STAGE)
+        assert Checker(flags=NOIMP).check_sources(files).messages == []
+        assert Checker().check_sources(files).messages == []
+
+    def test_intermediate_stages_have_messages(self):
+        for stage in range(FINAL_STAGE):
+            files = db_sources(stage)
+            result = Checker().check_sources(files)
+            assert len(result.messages) > 0, f"stage {stage} unexpectedly clean"
+
+    def test_census_monotone(self):
+        totals = [annotation_census(s).total for s in range(FINAL_STAGE + 1)]
+        assert totals == sorted(totals)
+        assert totals[0] == 0
+
+    def test_census_composition_matches_paper_shape(self):
+        census = annotation_census(FINAL_STAGE)
+        # Paper: 15 = 1 null + 1 out + 13 only (plus the unique of §6).
+        assert census.only >= census.null  # only dominates
+        assert census.out == 1
+        assert census.unique == 1
+
+    def test_driver_leaks_present_before_final_stage(self):
+        result = Checker(flags=NOIMP).check_sources(db_sources(3))
+        driver_msgs = [
+            m for m in result.messages if m.location.filename == "drive.c"
+        ]
+        assert len(driver_msgs) == 6  # the paper's six driver leaks
+
+    def test_db_program_runs_correctly(self):
+        from repro.runtime.interp import run_program
+
+        result = run_program(db_sources(FINAL_STAGE), max_steps=5_000_000)
+        assert result.exit_code == 0
+        assert "hired 5" in result.output
+        assert "alice" in result.output
+        # section 7 residue: storage reachable from globals leaks at exit
+        assert result.leaked_blocks > 0

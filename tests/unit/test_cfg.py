@@ -1,0 +1,164 @@
+"""Tests for the loops-as-ifs CFG builder (paper Figure 6, section 2)."""
+
+from repro.analysis.cfg import build_cfg
+from repro.core.api import Checker
+
+
+def cfg_of(source):
+    parsed = Checker().parse_unit(source, "t.c")
+    fdef = parsed.unit.functions()[0]
+    return build_cfg(fdef)
+
+
+class TestStraightLine:
+    def test_minimal_function(self):
+        cfg = cfg_of("void f(void) { }")
+        assert cfg.is_acyclic()
+        assert cfg.path_count() == 1
+        assert cfg.branch_count == 0
+
+    def test_sequence(self):
+        cfg = cfg_of("void f(int x) { x = 1; x = 2; x = 3; }")
+        assert cfg.path_count() == 1
+        labels = [n.label for n in cfg.nodes if n.kind == "stmt"]
+        assert labels == ["x = 1", "x = 2", "x = 3"]
+
+    def test_return_goes_to_exit(self):
+        cfg = cfg_of("int f(void) { return 1; }")
+        ret = next(n for n in cfg.nodes if n.label == "return 1")
+        assert (cfg.exit, "") in cfg.successors(ret.node_id)
+
+
+class TestBranches:
+    def test_if_has_two_paths(self):
+        cfg = cfg_of("void f(int x) { if (x) { x = 1; } }")
+        assert cfg.branch_count == 1
+        assert cfg.path_count() == 2
+
+    def test_if_else(self):
+        cfg = cfg_of("void f(int x) { if (x) { x = 1; } else { x = 2; } }")
+        assert cfg.path_count() == 2
+
+    def test_nested_ifs_multiply_paths(self):
+        cfg = cfg_of("void f(int a, int b) { if (a) { } if (b) { } }")
+        assert cfg.path_count() == 4
+
+    def test_early_return_path(self):
+        cfg = cfg_of("int f(int x) { if (x) { return 1; } return 0; }")
+        assert cfg.path_count() == 2
+
+    def test_edge_labels(self):
+        cfg = cfg_of("void f(int x) { if (x) { x = 1; } else { x = 2; } }")
+        labels = {lbl for _, _, lbl in cfg.edges if lbl}
+        assert "true" in labels
+        assert "false" in labels
+
+
+class TestLoopsHaveNoBackEdges:
+    def test_while_is_acyclic(self):
+        cfg = cfg_of("void f(int x) { while (x) { x = x - 1; } }")
+        assert cfg.is_acyclic()
+        assert cfg.path_count() == 2  # zero or one iterations
+
+    def test_for_is_acyclic(self):
+        cfg = cfg_of(
+            "void f(void) { int i; for (i = 0; i < 3; i++) { i = i; } }"
+        )
+        assert cfg.is_acyclic()
+
+    def test_do_while_is_acyclic(self):
+        cfg = cfg_of("void f(int x) { do { x = 1; } while (x); }")
+        assert cfg.is_acyclic()
+        assert cfg.path_count() == 1  # body exactly once in the model
+
+    def test_break_reaches_loop_exit(self):
+        cfg = cfg_of("void f(int x) { while (x) { if (x) { break; } x = 1; } }")
+        assert cfg.is_acyclic()
+        assert any(lbl == "break" for _, _, lbl in cfg.edges)
+
+    def test_continue_edge(self):
+        cfg = cfg_of(
+            "void f(int x) { while (x) { if (x) { continue; } x = 1; } }"
+        )
+        assert cfg.is_acyclic()
+        assert any(lbl == "continue" for _, _, lbl in cfg.edges)
+
+    def test_infinite_for_without_break_has_no_exit_path(self):
+        cfg = cfg_of("void f(void) { for (;;) { } }")
+        assert cfg.is_acyclic()
+        assert cfg.path_count() == 0
+
+    def test_infinite_for_with_break(self):
+        cfg = cfg_of("void f(int x) { for (;;) { if (x) { break; } } }")
+        assert cfg.path_count() >= 1
+
+
+class TestSwitch:
+    def test_switch_cases_and_fallthrough(self):
+        cfg = cfg_of(
+            """void f(int x) {
+                switch (x) {
+                case 1: x = 10; break;
+                case 2: x = 20;
+                default: x = 0;
+                }
+            }"""
+        )
+        assert cfg.is_acyclic()
+        assert any(lbl == "case" for _, _, lbl in cfg.edges)
+        assert any(lbl == "fallthrough" for _, _, lbl in cfg.edges)
+
+    def test_switch_without_default_has_skip_edge(self):
+        cfg = cfg_of(
+            "void f(int x) { switch (x) { case 1: x = 1; break; } }"
+        )
+        assert any(lbl == "no case" for _, _, lbl in cfg.edges)
+
+
+class TestFigure6:
+    SOURCE = """typedef /*@null@*/ struct _list {
+      /*@only@*/ char *this;
+      /*@null@*/ /*@only@*/ struct _list *next;
+    } *list;
+    extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+    void list_addh(/*@temp@*/ list l, /*@only@*/ char *e) {
+      if (l != NULL) {
+        while (l->next != NULL) { l = l->next; }
+        l->next = (list) smalloc(sizeof(*l->next));
+        l->next->this = e;
+      }
+    }"""
+
+    def test_structure(self):
+        cfg = cfg_of(self.SOURCE)
+        assert cfg.function == "list_addh"
+        assert cfg.branch_count == 2  # the if and the while
+        assert cfg.path_count() == 3
+        assert cfg.is_acyclic()
+
+    def test_dot_output(self):
+        cfg = cfg_of(self.SOURCE)
+        dot = cfg.to_dot()
+        assert dot.startswith('digraph "list_addh"')
+        assert "Function Entrance" in dot
+        assert "->" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_topological_order_starts_at_entry(self):
+        cfg = cfg_of(self.SOURCE)
+        order = cfg.topological_order()
+        assert order[0] == cfg.entry
+        position = {n: i for i, n in enumerate(order)}
+        for src, dst, _ in cfg.edges:
+            if src in position and dst in position:
+                assert position[src] < position[dst]
+
+
+class TestGotoAndLabels:
+    def test_goto_cuts_flow(self):
+        cfg = cfg_of("void f(void) { goto out; out: ; }")
+        assert cfg.is_acyclic()
+
+    def test_label_statement(self):
+        cfg = cfg_of("void f(int x) { top: x = 1; }")
+        assert any(n.label == "top:" for n in cfg.nodes)

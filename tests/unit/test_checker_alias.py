@@ -1,0 +1,131 @@
+"""Aliasing checks (paper section 4, 'Aliasing'; Figure 8)."""
+
+from repro import Flags, check_source
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+
+def codes(source, flags=NOIMP):
+    return [m.code for m in check_source(source, "t.c", flags=flags).messages]
+
+
+def texts(source, flags=NOIMP):
+    return [m.text for m in check_source(source, "t.c", flags=flags).messages]
+
+
+STRCPYISH = """extern void copy(/*@unique@*/ /*@out@*/ char *dst, char *src);
+"""
+
+
+class TestUnique:
+    def test_two_external_params_may_alias(self):
+        src = STRCPYISH + "void f(char *a, char *b) { copy(a, b); }"
+        msgs = texts(src)
+        assert any("declared unique but may be aliased externally" in m for m in msgs)
+
+    def test_figure8_field_and_param(self):
+        src = """#include <string.h>
+        typedef struct { char *name; int salary; } employee;
+        int setName(employee *e, char *s) { strcpy(e->name, s); return 1; }"""
+        msgs = texts(src)
+        assert any(
+            "Parameter 1 (e->name) to function strcpy is declared unique "
+            "but may be aliased externally by parameter 2 (s)" == m
+            for m in msgs
+        )
+
+    def test_unique_source_param_suppresses(self):
+        src = """#include <string.h>
+        typedef struct { char *name; int salary; } employee;
+        int setName(employee *e, /*@unique@*/ char *s) {
+            strcpy(e->name, s); return 1;
+        }"""
+        assert MessageCode.UNIQUE_ALIAS not in codes(src)
+
+    def test_local_buffer_cannot_alias_param(self):
+        src = STRCPYISH + """
+        #include <stdlib.h>
+        void f(char *src) {
+            char *buf = (char *) malloc(64);
+            if (buf == NULL) { return; }
+            copy(buf, src);
+            free(buf);
+        }"""
+        assert MessageCode.UNIQUE_ALIAS not in codes(src)
+
+    def test_definite_alias_always_reported(self):
+        src = STRCPYISH + "void f(char *a) { copy(a, a); }"
+        assert MessageCode.UNIQUE_ALIAS in codes(src)
+
+    def test_local_alias_of_param_detected(self):
+        src = STRCPYISH + "void f(char *a) { char *b = a; copy(b, a); }"
+        assert MessageCode.UNIQUE_ALIAS in codes(src)
+
+    def test_only_param_cannot_be_externally_aliased(self):
+        src = STRCPYISH + """
+        #include <stdlib.h>
+        void f(/*@only@*/ char *dst, char *src) {
+            copy(dst, src);
+            free(dst);
+        }"""
+        assert MessageCode.UNIQUE_ALIAS not in codes(src)
+
+
+class TestReturned:
+    def test_returned_param_aliases_result(self):
+        # strcpy(dst, src) returns dst: assigning the result must not
+        # transfer any obligation or lose track of dst.
+        src = """#include <string.h>
+        void f(/*@unique@*/ /*@out@*/ char *buf, char *s) {
+            char *r = strcpy(buf, s);
+            r[0] = 'x';
+        }"""
+        assert codes(src) == []
+
+    def test_returned_only_param_round_trip(self):
+        src = """#include <stdlib.h>
+        extern /*@returned@*/ char *touch(/*@returned@*/ /*@temp@*/ char *p);
+        void f(void) {
+            char *p = (char *) malloc(8);
+            char *q;
+            if (p == NULL) { return; }
+            q = touch(p);
+            free(p);
+        }"""
+        # q aliases p; freeing once through p is correct.
+        assert MessageCode.USE_AFTER_RELEASE not in codes(src)
+
+
+class TestAliasStateFlow:
+    def test_null_knowledge_flows_through_alias(self):
+        src = """int f(/*@null@*/ int *p) {
+            int *q = p;
+            if (q != NULL) { return *p; }
+            return 0;
+        }"""
+        assert codes(src) == []
+
+    def test_free_through_alias_kills_original(self):
+        src = """#include <stdlib.h>
+        char f(void) {
+            char *p = (char *) malloc(4);
+            char *q;
+            if (p == NULL) { return 'x'; }
+            q = p;
+            free(q);
+            return *p;
+        }"""
+        assert MessageCode.USE_AFTER_RELEASE in codes(src)
+
+    def test_rebinding_breaks_alias(self):
+        src = """#include <stdlib.h>
+        void f(/*@null@*/ /*@temp@*/ int *p) {
+            int *q = p;
+            q = (int *) malloc(sizeof(int));
+            if (q == NULL) { return; }
+            *q = 1;
+            free(q);
+        }"""
+        # After rebinding, q no longer aliases p; freeing q is fine.
+        assert codes(src) == []

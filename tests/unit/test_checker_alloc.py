@@ -1,0 +1,301 @@
+"""Allocation / obligation checking (paper section 4, 'Allocation')."""
+
+from repro import Flags, check_source
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+
+def codes(source, flags=NOIMP):
+    return [m.code for m in check_source(source, "t.c", flags=flags).messages]
+
+
+def texts(source, flags=NOIMP):
+    return [m.text for m in check_source(source, "t.c", flags=flags).messages]
+
+
+MALLOC_CHECKED = """#include <stdlib.h>
+static int *mk(void) {
+    int *p = (int *) malloc(sizeof(int));
+    if (p == NULL) { exit(1); }
+    *p = 0;
+    return p;
+}
+"""
+
+
+class TestLeaks:
+    def test_local_never_freed_leaks_at_scope_exit(self):
+        src = """#include <stdlib.h>
+        void f(void) {
+            char *p = (char *) malloc(10);
+            if (p == NULL) { return; }
+            *p = 'x';
+        }"""
+        assert MessageCode.LEAK_SCOPE in codes(src)
+
+    def test_local_freed_no_leak(self):
+        src = """#include <stdlib.h>
+        void f(void) {
+            char *p = (char *) malloc(10);
+            if (p == NULL) { return; }
+            *p = 'x';
+            free(p);
+        }"""
+        assert codes(src) == []
+
+    def test_overwrite_without_release_leaks(self):
+        src = """#include <stdlib.h>
+        void f(void) {
+            char *p = (char *) malloc(10);
+            if (p == NULL) { return; }
+            p = (char *) malloc(20);
+            free(p);
+        }"""
+        msgs = texts(src)
+        assert any("not released before assignment" in m for m in msgs)
+
+    def test_free_then_reassign_ok(self):
+        src = """#include <stdlib.h>
+        void f(void) {
+            char *p = (char *) malloc(10);
+            if (p == NULL) { return; }
+            free(p);
+            p = (char *) malloc(20);
+            if (p == NULL) { return; }
+            free(p);
+        }"""
+        assert codes(src) == []
+
+    def test_unused_fresh_result_is_leak(self):
+        src = "#include <stdlib.h>\nvoid f(void) { malloc(10); }"
+        assert MessageCode.LEAK_RESULT in codes(src)
+
+    def test_figure4_only_global_overwritten(self):
+        src = """extern /*@only@*/ char *gname;
+        void setName(/*@temp@*/ char *pname) { gname = pname; }"""
+        cs = codes(src)
+        assert MessageCode.LEAK_OVERWRITE in cs
+        assert MessageCode.TEMP_TO_ONLY in cs
+
+    def test_fresh_returned_without_only_is_suspected_leak(self):
+        src = MALLOC_CHECKED
+        assert MessageCode.LEAK_RETURN in codes(src)
+
+    def test_fresh_returned_as_only_ok(self):
+        src = """#include <stdlib.h>
+        static /*@only@*/ int *mk(void) {
+            int *p = (int *) malloc(sizeof(int));
+            if (p == NULL) { exit(1); }
+            *p = 0;
+            return p;
+        }"""
+        assert codes(src) == []
+
+    def test_implicit_only_return_accepts_fresh(self):
+        # With implicit annotations on (the default), the unannotated
+        # return value takes the obligation: no message (paper section 6).
+        assert codes(MALLOC_CHECKED, flags=Flags()) == []
+
+    def test_gc_mode_suppresses_leaks(self):
+        src = """#include <stdlib.h>
+        void f(void) {
+            char *p = (char *) malloc(10);
+            if (p == NULL) { return; }
+            *p = 'x';
+        }"""
+        gc = Flags.from_args(["-allimponly", "+gcmode"])
+        assert codes(src, flags=gc) == []
+
+    def test_early_return_leaks_locals(self):
+        src = """#include <stdlib.h>
+        void f(int c) {
+            char *p = (char *) malloc(10);
+            if (p == NULL) { return; }
+            if (c) { return; }
+            free(p);
+        }"""
+        assert MessageCode.LEAK_SCOPE in codes(src)
+
+
+class TestTransfers:
+    def test_free_of_temp_param(self):
+        src = """#include <stdlib.h>
+        void f(/*@temp@*/ char *p) { free(p); }"""
+        msgs = texts(src)
+        assert any("Temp storage p passed as only param" in m for m in msgs)
+
+    def test_free_of_implicitly_temp_param(self):
+        src = "#include <stdlib.h>\nvoid f(char *p) { free(p); }"
+        msgs = texts(src)
+        assert any("Implicitly temp storage p passed as only param" in m for m in msgs)
+
+    def test_free_of_only_param_ok(self):
+        src = "#include <stdlib.h>\nvoid f(/*@only@*/ char *p) { free(p); }"
+        assert codes(src) == []
+
+    def test_free_of_static_string(self):
+        src = """#include <stdlib.h>
+        void f(void) { char *p = "static"; free(p); }"""
+        msgs = texts(src)
+        assert any("Static storage" in m for m in msgs)
+
+    def test_double_free_reported(self):
+        src = """#include <stdlib.h>
+        void f(/*@only@*/ char *p) { free(p); free(p); }"""
+        assert MessageCode.USE_AFTER_RELEASE in codes(src)
+
+    def test_use_after_free(self):
+        src = """#include <stdlib.h>
+        char f(/*@only@*/ char *p) { free(p); return *p; }"""
+        assert MessageCode.USE_AFTER_RELEASE in codes(src)
+
+    def test_use_after_transfer_through_alias(self):
+        src = """#include <stdlib.h>
+        extern void take(/*@only@*/ char *p);
+        char f(/*@only@*/ char *p) { take(p); return p[0]; }"""
+        assert MessageCode.USE_AFTER_RELEASE in codes(src)
+
+    def test_only_param_not_released(self):
+        src = "void f(/*@only@*/ char *p) { }"
+        msgs = texts(src)
+        assert any("Only storage p not released before return" in m for m in msgs)
+
+    def test_only_param_released_ok(self):
+        src = "#include <stdlib.h>\nvoid f(/*@only@*/ char *p) { free(p); }"
+        assert codes(src) == []
+
+    def test_only_param_transferred_to_global_ok(self):
+        src = """extern /*@only@*/ char *g;
+        void f(/*@only@*/ char *p) { g = p; }"""
+        # Transfer hits the leak-on-overwrite of g, but p's obligation is
+        # satisfied: no 'not released' message for p.
+        msgs = texts(src)
+        assert not any("Only storage p not released" in m for m in msgs)
+
+    def test_keep_param_usable_after_call(self):
+        src = """extern void keepit(/*@keep@*/ char *p);
+        char f(/*@only@*/ char *p) { keepit(p); return p[0]; }"""
+        assert MessageCode.USE_AFTER_RELEASE not in codes(src)
+
+    def test_kept_storage_not_freed_again(self):
+        src = """#include <stdlib.h>
+        extern void keepit(/*@keep@*/ char *p);
+        void f(/*@only@*/ char *p) { keepit(p); free(p); }"""
+        msgs = texts(src)
+        assert any("Kept storage" in m for m in msgs)
+
+    def test_fresh_to_temp_target_loses_obligation(self):
+        src = """#include <stdlib.h>
+        extern /*@temp@*/ char *t;
+        void f(void) { t = (char *) malloc(4); }"""
+        assert MessageCode.BAD_TRANSFER in codes(src)
+
+    def test_implicitly_temp_assigned_to_only(self):
+        src = """extern /*@only@*/ char *g;
+        extern char *h;
+        void f(void) { g = h; }"""
+        cs = codes(src)
+        assert MessageCode.IMPLICIT_TRANSFER in cs or MessageCode.LEAK_OVERWRITE in cs
+
+    def test_free_null_is_ok(self):
+        src = "#include <stdlib.h>\nvoid f(void) { free(NULL); }"
+        assert codes(src) == []
+
+    def test_dependent_may_not_release(self):
+        src = """#include <stdlib.h>
+        void f(/*@dependent@*/ char *p) { free(p); }"""
+        msgs = texts(src)
+        assert any("Dependent storage" in m for m in msgs)
+
+    def test_shared_may_not_release(self):
+        src = """#include <stdlib.h>
+        void f(/*@shared@*/ char *p) { free(p); }"""
+        msgs = texts(src)
+        assert any("Shared storage" in m for m in msgs)
+
+
+class TestConfluence:
+    def test_free_on_one_branch_only(self):
+        src = """#include <stdlib.h>
+        void f(/*@only@*/ char *p, int c) {
+            if (c) { free(p); }
+        }"""
+        assert MessageCode.CONFLUENCE in codes(src)
+
+    def test_free_on_both_branches_ok(self):
+        src = """#include <stdlib.h>
+        void f(/*@only@*/ char *p, int c) {
+            if (c) { free(p); } else { free(p); }
+        }"""
+        assert codes(src) == []
+
+    def test_figure5_kept_vs_only(self):
+        src = """typedef /*@null@*/ struct _list {
+          /*@only@*/ char *this;
+          /*@null@*/ /*@only@*/ struct _list *next;
+        } *list;
+        extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+        void list_addh(/*@temp@*/ list l, /*@only@*/ char *e) {
+          if (l != NULL) {
+            while (l->next != NULL) { l = l->next; }
+            l->next = (list) smalloc(sizeof(*l->next));
+            l->next->this = e;
+          }
+        }"""
+        result = check_source(src, "list.c")
+        confluence = [m for m in result.messages if m.code is MessageCode.CONFLUENCE]
+        assert len(confluence) == 1
+        assert "kept" in confluence[0].text and "only" in confluence[0].text
+
+    def test_return_in_branch_is_not_confluence(self):
+        src = """#include <stdlib.h>
+        void f(/*@only@*/ char *p, int c) {
+            if (c) { free(p); return; }
+            free(p);
+        }"""
+        assert codes(src) == []
+
+
+class TestCompletelyDestroyed:
+    """Paper footnote 5: an out only void * parameter (a deallocator)
+    must not receive objects containing live, unshared references."""
+
+    API = """#include <stdlib.h>
+    typedef struct _box { /*@only@*/ char *label; int n; } *box;
+    """
+
+    def test_freeing_container_with_live_only_field(self):
+        src = self.API + """
+        void destroy(/*@only@*/ box b) {
+            free(b);
+        }"""
+        msgs = texts(src)
+        assert any("not completely destroyed" in m for m in msgs)
+
+    def test_field_released_first_is_clean(self):
+        src = self.API + """
+        void destroy(/*@only@*/ box b) {
+            free(b->label);
+            free(b);
+        }"""
+        assert codes(src) == []
+
+    def test_null_field_needs_no_release(self):
+        src = """#include <stdlib.h>
+        typedef struct _box { /*@null@*/ /*@only@*/ char *label; } *box;
+        void destroy(/*@only@*/ box b) {
+            free(b);
+        }"""
+        # a possibly-null only field may hold no storage: no message
+        assert codes(src) == []
+
+    def test_field_transferred_away_is_clean(self):
+        src = self.API + """
+        extern /*@only@*/ char *keeper;
+        void destroy(/*@only@*/ box b) {
+            keeper = b->label;
+            free(b);
+        }"""
+        msgs = texts(src)
+        assert not any("not completely destroyed" in m for m in msgs)

@@ -1,0 +1,205 @@
+"""Checker behaviour across control-flow constructs (loops-as-ifs,
+switch, do-while, goto, early exits)."""
+
+from repro import Flags, check_source
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+
+def codes(source, flags=NOIMP):
+    return [m.code for m in check_source(source, "t.c", flags=flags).messages]
+
+
+class TestLoopsAsIfs:
+    def test_while_body_analyzed_once(self):
+        src = """#include <stdlib.h>
+        void f(int n) {
+            while (n > 0) {
+                char *p = (char *) malloc(4);
+                if (p != NULL) { free(p); }
+                n = n - 1;
+            }
+        }"""
+        assert codes(src) == []
+
+    def test_leak_inside_loop_detected(self):
+        src = """#include <stdlib.h>
+        void f(int n) {
+            while (n > 0) {
+                char *p = (char *) malloc(4);
+                n = n - 1;
+            }
+        }"""
+        assert MessageCode.LEAK_SCOPE in codes(src)
+
+    def test_null_state_merges_after_loop(self):
+        src = """typedef /*@null@*/ struct _n { /*@null@*/ struct _n *next; } *node;
+        int f(/*@temp@*/ node n) {
+            int hops = 0;
+            while (n != NULL) {
+                n = n->next;
+                hops = hops + 1;
+            }
+            return hops;
+        }"""
+        assert codes(src) == []
+
+    def test_guard_from_loop_condition_applies_in_body(self):
+        src = """int f(/*@null@*/ /*@temp@*/ int *p) {
+            int total = 0;
+            while (p != NULL) {
+                total = total + *p;
+                p = NULL;
+            }
+            return total;
+        }"""
+        assert codes(src) == []
+
+    def test_for_loop_with_free_in_body(self):
+        src = """#include <stdlib.h>
+        void f(void) {
+            int i;
+            for (i = 0; i < 3; i++) {
+                int *p = (int *) malloc(sizeof(int));
+                if (p == NULL) { return; }
+                *p = i;
+                free(p);
+            }
+        }"""
+        assert codes(src) == []
+
+    def test_do_while_body_checked(self):
+        src = """#include <stdlib.h>
+        void f(void) {
+            do {
+                char *p = (char *) malloc(4);
+            } while (0);
+        }"""
+        assert MessageCode.LEAK_SCOPE in codes(src)
+
+    def test_break_state_merges(self):
+        src = """#include <stdlib.h>
+        void f(int n, /*@only@*/ char *p) {
+            while (n > 0) {
+                if (n == 5) { free(p); break; }
+                n = n - 1;
+            }
+        }"""
+        # released on the break path only: inconsistent at the join
+        assert MessageCode.CONFLUENCE in codes(src)
+
+    def test_continue_state_merges(self):
+        src = """void f(int n) {
+            int x;
+            while (n > 0) {
+                if (n == 2) { continue; }
+                x = 1;
+                n = n - x;
+            }
+        }"""
+        assert codes(src) == []
+
+
+class TestSwitch:
+    def test_release_in_every_case_ok(self):
+        src = """#include <stdlib.h>
+        void f(int k, /*@only@*/ char *p) {
+            switch (k) {
+            case 1: free(p); break;
+            default: free(p); break;
+            }
+        }"""
+        assert codes(src) == []
+
+    def test_release_missing_in_one_case(self):
+        src = """#include <stdlib.h>
+        void f(int k, /*@only@*/ char *p) {
+            switch (k) {
+            case 1: free(p); break;
+            default: break;
+            }
+        }"""
+        result = codes(src)
+        assert MessageCode.CONFLUENCE in result or (
+            MessageCode.ONLY_NOT_RELEASED in result
+        )
+
+    def test_switch_without_default_keeps_entry_path(self):
+        src = """#include <stdlib.h>
+        void f(int k, /*@only@*/ char *p) {
+            switch (k) {
+            case 1: free(p); break;
+            }
+        }"""
+        # the no-case path reaches exit with p unreleased
+        result = codes(src)
+        assert result != []
+
+    def test_fallthrough_definition(self):
+        src = """int f(int k) {
+            int x;
+            switch (k) {
+            case 1: x = 1;
+            case 2: x = 2; break;
+            default: x = 3;
+            }
+            return x;
+        }"""
+        assert codes(src) == []
+
+
+class TestEarlyExits:
+    def test_exit_call_ends_path(self):
+        src = """#include <stdlib.h>
+        int f(/*@null@*/ int *p) {
+            if (p == NULL) { exit(1); }
+            return *p;
+        }"""
+        assert codes(src) == []
+
+    def test_abort_ends_path(self):
+        src = """#include <stdlib.h>
+        int f(/*@null@*/ int *p) {
+            if (p == NULL) { abort(); }
+            return *p;
+        }"""
+        assert codes(src) == []
+
+    def test_multiple_returns_each_checked(self):
+        src = """char *f(int k, /*@null@*/ /*@temp@*/ char *a) {
+            if (k) { return a; }
+            return "fixed";
+        }"""
+        result = check_source(src, "t.c", flags=NOIMP)
+        # only the possibly-null return is flagged, at its own line
+        assert [m.code for m in result.messages] == [MessageCode.NULL_RET_VALUE]
+        assert result.messages[0].location.line == 2
+
+    def test_goto_cuts_analysis(self):
+        src = """void f(int k) {
+            int x;
+            if (k) { goto out; }
+            x = 1;
+            out: ;
+        }"""
+        assert codes(src) == []
+
+
+class TestTernaryAndComma:
+    def test_ternary_merges_values(self):
+        src = """char *f(int k, /*@null@*/ /*@temp@*/ char *a,
+                          /*@temp@*/ char *b) {
+            char *r = k ? a : b;
+            return r;
+        }"""
+        assert MessageCode.NULL_RET_VALUE in codes(src)
+
+    def test_comma_evaluates_in_order(self):
+        src = """int f(void) {
+            int x;
+            int y;
+            y = (x = 3, x + 1);
+            return y;
+        }"""
+        assert codes(src) == []

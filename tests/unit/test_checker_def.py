@@ -1,0 +1,203 @@
+"""Definition checking (paper section 4, 'Definition')."""
+
+from repro import Flags, check_source
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+
+def codes(source, flags=NOIMP):
+    return [m.code for m in check_source(source, "t.c", flags=flags).messages]
+
+
+def texts(source, flags=NOIMP):
+    return [m.text for m in check_source(source, "t.c", flags=flags).messages]
+
+
+class TestUseBeforeDefinition:
+    def test_uninitialized_local_used(self):
+        src = "int f(void) { int x; return x; }"
+        assert MessageCode.USE_BEFORE_DEF in codes(src)
+
+    def test_initialized_local_ok(self):
+        src = "int f(void) { int x = 1; return x; }"
+        assert codes(src) == []
+
+    def test_assigned_then_used_ok(self):
+        src = "int f(void) { int x; x = 2; return x; }"
+        assert codes(src) == []
+
+    def test_lvalue_use_of_undefined_ok(self):
+        # Undefined storage may be used as an lvalue (paper section 3).
+        src = "void f(void) { int x; x = 1; }"
+        assert codes(src) == []
+
+    def test_defined_on_one_branch_weakest_assumption(self):
+        # Paper section 2: a use after a branch that only sometimes defines
+        # the variable is reported (deliberate unsoundness).
+        src = """int f(int c) {
+            int x;
+            if (c) { x = 1; }
+            return x;
+        }"""
+        assert MessageCode.USE_BEFORE_DEF in codes(src)
+
+    def test_defined_on_both_branches_ok(self):
+        src = """int f(int c) {
+            int x;
+            if (c) { x = 1; } else { x = 2; }
+            return x;
+        }"""
+        assert codes(src) == []
+
+    def test_sizeof_does_not_need_value(self):
+        src = "unsigned long f(void) { int x; return sizeof(x); }"
+        assert codes(src) == []
+
+    def test_deref_of_allocated_storage_is_undefined(self):
+        src = """#include <stdlib.h>
+        int f(void) {
+            int *p = (int *) malloc(sizeof(int));
+            int v;
+            if (p == NULL) { return 0; }
+            v = *p;
+            free(p);
+            return v;
+        }"""
+        assert MessageCode.USE_BEFORE_DEF in codes(src)
+
+    def test_compound_assignment_defines(self):
+        src = "int f(void) { int x; x = 0; x += 2; return x; }"
+        assert codes(src) == []
+
+
+class TestOutParameters:
+    def test_out_param_may_be_undefined_inside(self):
+        src = "void init(/*@out@*/ int *p) { *p = 0; }"
+        assert codes(src) == []
+
+    def test_out_param_used_before_defined_inside(self):
+        src = "int bad(/*@out@*/ int *p) { return *p; }"
+        assert MessageCode.USE_BEFORE_DEF in codes(src)
+
+    def test_out_param_must_be_defined_at_return(self):
+        src = "void init(/*@out@*/ int *p) { }"
+        msgs = texts(src)
+        assert any("not completely defined at return" in m for m in msgs)
+
+    def test_allocated_storage_passed_as_out_ok(self):
+        src = """#include <stdlib.h>
+        extern void init(/*@out@*/ int *p);
+        void f(void) {
+            int *p = (int *) malloc(sizeof(int));
+            if (p == NULL) { return; }
+            init(p);
+            free(p);
+        }"""
+        assert codes(src) == []
+
+    def test_allocated_storage_passed_as_in_param_reported(self):
+        src = """#include <stdlib.h>
+        extern void use(int *p);
+        void f(void) {
+            int *p = (int *) malloc(sizeof(int));
+            if (p == NULL) { return; }
+            use(p);
+            free(p);
+        }"""
+        assert MessageCode.PARAM_NOT_DEFINED in codes(src)
+
+    def test_out_param_defined_after_call(self):
+        src = """extern void init(/*@out@*/ int *p);
+        int f(int *storage) { init(storage); return *storage; }"""
+        assert codes(src) == []
+
+
+class TestStructCompleteness:
+    STRUCT = """typedef struct _pair { int a; int b; } *pair;
+    extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+    """
+
+    def test_partially_initialized_struct_param(self):
+        src = self.STRUCT + """
+        void fill(/*@out@*/ pair p) { p->a = 1; }"""
+        msgs = texts(src)
+        assert any("p->b" in m and "not completely defined" in m for m in msgs)
+
+    def test_fully_initialized_struct_ok(self):
+        src = self.STRUCT + """
+        void fill(/*@out@*/ pair p) { p->a = 1; p->b = 2; }"""
+        assert codes(src) == []
+
+    def test_figure5_incomplete_definition(self):
+        src = """typedef /*@null@*/ struct _list {
+          /*@only@*/ char *this;
+          /*@null@*/ /*@only@*/ struct _list *next;
+        } *list;
+        extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+        void list_addh(/*@temp@*/ list l, /*@only@*/ char *e) {
+          if (l != NULL) {
+            while (l->next != NULL) { l = l->next; }
+            l->next = (list) smalloc(sizeof(*l->next));
+            l->next->this = e;
+          }
+        }"""
+        msgs = texts(check_source(src, "t.c").messages and src or src)
+        msgs = texts(src, flags=Flags())
+        assert any(
+            "l->next->next" in m and "not completely defined" in m for m in msgs
+        )
+
+    def test_figure5_fixed_by_defining_next(self):
+        src = """typedef /*@null@*/ struct _list {
+          /*@only@*/ char *this;
+          /*@null@*/ /*@only@*/ struct _list *next;
+        } *list;
+        extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+        void list_addh(/*@temp@*/ list l, /*@only@*/ char *e) {
+          if (l != NULL) {
+            while (l->next != NULL) { l = l->next; }
+            l->next = (list) smalloc(sizeof(*l->next));
+            l->next->this = e;
+            l->next->next = NULL;
+          } else {
+            /*@i@*/ ;
+          }
+        }"""
+        msgs = texts(src, flags=Flags())
+        assert not any("not completely defined" in m for m in msgs)
+
+    def test_partial_annotation_relaxes_field_checking(self):
+        src = """typedef /*@partial@*/ struct _rec { int a; int b; } *rec;
+        extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+        void fill(/*@out@*/ rec r) { r->a = 1; }"""
+        assert codes(src) == []
+
+    def test_reldef_relaxes(self):
+        src = """typedef struct _rec { int a; /*@reldef@*/ int b; } *rec;
+        void fill(/*@out@*/ rec r) { r->a = 1; }"""
+        assert codes(src) == []
+
+
+class TestGlobalsDefinition:
+    def test_undef_global_may_be_undefined_at_entry(self):
+        src = """extern int g;
+        void init(void) /*@globals undef g@*/ { g = 1; }"""
+        assert codes(src) == []
+
+    def test_undef_global_must_be_defined_at_exit(self):
+        src = """extern int g;
+        void init(void) /*@globals undef g@*/ { }"""
+        assert MessageCode.GLOBAL_UNDEFINED in codes(src)
+
+    def test_callee_requiring_defined_global(self):
+        src = """extern int g;
+        extern void use(void) /*@globals g@*/;
+        void f(void) /*@globals undef g@*/ { use(); g = 1; }"""
+        assert MessageCode.GLOBAL_UNDEFINED in codes(src)
+
+    def test_global_defined_before_callee_ok(self):
+        src = """extern int g;
+        extern void use(void) /*@globals g@*/;
+        void f(void) /*@globals undef g@*/ { g = 1; use(); }"""
+        assert codes(src) == []

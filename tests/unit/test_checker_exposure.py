@@ -1,0 +1,98 @@
+"""Exposure checking: observer and exposed (paper Appendix B)."""
+
+from repro import Flags, check_source
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+OBSERVER_API = """typedef struct _rec { int id; char tag; } *rec;
+extern /*@observer@*/ rec peek(int which);
+"""
+
+
+def codes(source, flags=NOIMP):
+    return [m.code for m in check_source(source, "t.c", flags=flags).messages]
+
+
+def texts(source, flags=NOIMP):
+    return [m.text for m in check_source(source, "t.c", flags=flags).messages]
+
+
+class TestObserver:
+    def test_reading_observer_storage_ok(self):
+        src = OBSERVER_API + """
+        int f(void) {
+            rec r = peek(0);
+            return r->id;
+        }"""
+        assert codes(src) == []
+
+    def test_modifying_observer_storage_reported(self):
+        src = OBSERVER_API + """
+        void f(void) {
+            rec r = peek(0);
+            r->id = 99;
+        }"""
+        result_codes = codes(src)
+        assert MessageCode.OBSERVER_MODIFIED in result_codes
+        msgs = texts(src)
+        assert any("Suspect modification of observer storage r" in m
+                   for m in msgs)
+
+    def test_freeing_observer_storage_reported(self):
+        src = "#include <stdlib.h>\n" + OBSERVER_API + """
+        void f(void) {
+            rec r = peek(0);
+            free(r);
+        }"""
+        assert MessageCode.OBSERVER_MODIFIED in codes(src)
+
+    def test_observer_through_copy(self):
+        src = OBSERVER_API + """
+        void f(void) {
+            rec r = peek(0);
+            rec s = r;
+            s->id = 1;
+        }"""
+        assert MessageCode.OBSERVER_MODIFIED in codes(src)
+
+    def test_getenv_is_observer_in_stdlib(self):
+        src = """#include <stdlib.h>
+        void f(void) {
+            char *home = getenv("HOME");
+            if (home != NULL) {
+                home[0] = 'x';
+            }
+        }"""
+        assert MessageCode.OBSERVER_MODIFIED in codes(src)
+
+    def test_observer_flag_disables(self):
+        src = OBSERVER_API + """
+        void f(void) {
+            rec r = peek(0);
+            r->id = 99;
+        }"""
+        off = Flags.from_args(["-allimponly", "-observertrans"])
+        assert codes(src, flags=off) == []
+
+
+class TestExposed:
+    def test_exposed_may_be_modified(self):
+        src = """typedef struct _b { int size; } *buffer;
+        extern /*@exposed@*/ buffer contents(int which);
+        void f(void) {
+            buffer b = contents(0);
+            b->size = 10;
+        }"""
+        assert codes(src) == []
+
+    def test_exposed_may_not_be_released(self):
+        src = """#include <stdlib.h>
+        typedef struct _b { int size; } *buffer;
+        extern /*@exposed@*/ buffer contents(int which);
+        void f(void) {
+            buffer b = contents(0);
+            free(b);
+        }"""
+        msgs = texts(src)
+        assert any("Dependent storage b passed as only" in m for m in msgs)

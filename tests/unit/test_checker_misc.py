@@ -1,0 +1,246 @@
+"""Checker behaviours not covered elsewhere: enums, casts, statics,
+address-of, globals lists, owned/dependent pairs, keep parameters."""
+
+from repro import Flags, check_source
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+
+def codes(source, flags=NOIMP):
+    return [m.code for m in check_source(source, "t.c", flags=flags).messages]
+
+
+def texts(source, flags=NOIMP):
+    return [m.text for m in check_source(source, "t.c", flags=flags).messages]
+
+
+class TestEnumsAndConstants:
+    def test_enum_constants_resolve(self):
+        src = """enum mode { OFF, ON = 5, AUTO };
+        int f(void) { return ON + AUTO; }"""
+        assert codes(src) == []
+
+    def test_enum_in_switch(self):
+        src = """typedef enum { RED, GREEN, BLUE } color;
+        int f(color c) {
+            switch (c) {
+            case RED: return 1;
+            case GREEN: return 2;
+            default: return 3;
+            }
+        }"""
+        assert codes(src) == []
+
+    def test_char_constants(self):
+        src = "int f(char c) { return c == 'x' ? 1 : 0; }"
+        assert codes(src) == []
+
+
+class TestCastsAndAddresses:
+    def test_cast_preserves_tracking(self):
+        src = """#include <stdlib.h>
+        void f(void) {
+            void *raw = malloc(8);
+            char *p = (char *) raw;
+            if (p == NULL) { return; }
+            free(p);
+        }"""
+        assert codes(src) == []
+
+    def test_address_of_local_is_static_storage(self):
+        src = """#include <stdlib.h>
+        void f(void) {
+            int x = 1;
+            int *p = &x;
+            free(p);
+        }"""
+        msgs = texts(src)
+        assert any("Static storage" in m for m in msgs)
+
+    def test_address_of_passed_as_out(self):
+        src = """extern void fill(/*@out@*/ int *slot);
+        int f(void) {
+            int x;
+            fill(&x);
+            return x;
+        }"""
+        assert codes(src) == []
+
+    def test_void_pointer_round_trip(self):
+        src = """#include <stdlib.h>
+        extern void take(/*@only@*/ void *p);
+        void f(void) {
+            int *p = (int *) malloc(sizeof(int));
+            if (p == NULL) { return; }
+            *p = 1;
+            take((void *) p);
+        }"""
+        assert codes(src) == []
+
+
+class TestStatics:
+    def test_static_local_zero_initialized(self):
+        src = """int f(void) {
+            static int counter;
+            counter = counter + 1;
+            return counter;
+        }"""
+        assert codes(src) == []
+
+    def test_static_function_checked(self):
+        src = """#include <stdlib.h>
+        static void helper(void) { malloc(4); }"""
+        assert MessageCode.LEAK_RESULT in codes(src)
+
+
+class TestOwnedDependent:
+    def test_owned_global_with_dependent_view(self):
+        src = """#include <stdlib.h>
+        extern /*@null@*/ /*@owned@*/ char *pool;
+        extern /*@null@*/ /*@dependent@*/ char *cursor;
+        void init(void) {
+            pool = (char *) malloc(64);
+            if (pool == NULL) { exit(1); }
+            pool[0] = 0;
+            cursor = pool;
+        }"""
+        assert codes(src) == []
+
+    def test_dependent_param_cannot_take_fresh(self):
+        src = """#include <stdlib.h>
+        extern /*@dependent@*/ char *view;
+        void f(void) {
+            view = (char *) malloc(8);
+        }"""
+        assert MessageCode.BAD_TRANSFER in codes(src)
+
+    def test_owned_released_ok(self):
+        src = """#include <stdlib.h>
+        void f(/*@owned@*/ char *p) { free(p); }"""
+        assert codes(src) == []
+
+
+class TestGlobalsListSemantics:
+    def test_killed_global_may_be_released(self):
+        src = """#include <stdlib.h>
+        extern /*@only@*/ char *cache;
+        void drop(void) /*@globals killed cache@*/ {
+            free(cache);
+        }"""
+        assert codes(src) == []
+
+    def test_unlisted_release_reported(self):
+        src = """#include <stdlib.h>
+        extern /*@only@*/ char *cache;
+        void drop(void) {
+            free(cache);
+        }"""
+        assert MessageCode.GLOBAL_RELEASED in codes(src)
+
+    def test_callee_reestablishes_global_state(self):
+        src = """extern /*@null@*/ char *buf;
+        extern void refill(void) /*@globals buf@*/;
+        char f(void) /*@globals buf@*/ {
+            buf = NULL;
+            refill();
+            if (buf != NULL) { return *buf; }
+            return ' ';
+        }"""
+        assert codes(src) == []
+
+
+class TestKeepSemantics:
+    def test_keep_satisfies_obligation(self):
+        src = """extern void stash(/*@keep@*/ char *p);
+        void f(/*@only@*/ char *p) { stash(p); }"""
+        assert codes(src) == []
+
+    def test_keep_param_inside_callee(self):
+        # Inside the callee a keep parameter owns the storage and must
+        # transfer it onward.
+        src = """extern /*@only@*/ char *slot;
+        void stash(/*@keep@*/ char *p) { slot = p; }"""
+        msgs = texts(src)
+        assert not any("not released before return" in m for m in msgs)
+
+    def test_unconsumed_keep_param_reported(self):
+        src = "void stash(/*@keep@*/ char *p) { }"
+        msgs = texts(src)
+        assert any("not released before return" in m for m in msgs)
+
+
+class TestNotnullOverride:
+    def test_notnull_overrides_typedef_null(self):
+        src = """typedef /*@null@*/ char *maybe;
+        int f(/*@notnull@*/ maybe p) { return *p; }"""
+        assert codes(src) == []
+
+    def test_typedef_null_applies_without_override(self):
+        src = """typedef /*@null@*/ char *maybe;
+        int f(maybe p) { return *p; }"""
+        assert MessageCode.NULL_DEREF in codes(src)
+
+
+class TestStrictIndexFlag:
+    SRC = """typedef struct _pair { int a; int b; } pair;
+    extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+    int f(void) {
+        int *p = (int *) smalloc(4 * sizeof(int));
+        p[0] = 1;
+        return p[1];  /* same element by default; independent under the flag */
+    }
+    """
+
+    def test_default_indexes_collapse(self):
+        # p[1] reads the same abstract element p[0] defined: no message
+        # about the read (the leak of p is still reported).
+        msgs = texts(self.SRC)
+        assert not any("used before definition" in m for m in msgs)
+
+    def test_strictindex_keeps_elements_apart(self):
+        strict = Flags.from_args(["-allimponly", "+strictindex"])
+        msgs = texts(self.SRC, flags=strict)
+        assert any("used before definition" in m for m in msgs)
+
+
+class TestImpoutsFlag:
+    SRC = """#include <stdlib.h>
+    extern void fill(int *slot);
+    void f(void) {
+        int *p = (int *) malloc(sizeof(int));
+        if (p == NULL) { return; }
+        fill(p);
+        free(p);
+    }
+    """
+
+    def test_default_requires_defined_argument(self):
+        assert MessageCode.PARAM_NOT_DEFINED in codes(self.SRC)
+
+    def test_impouts_assumes_out(self):
+        relaxed = Flags.from_args(["-allimponly", "+impouts"])
+        assert MessageCode.PARAM_NOT_DEFINED not in codes(self.SRC, flags=relaxed)
+
+
+class TestRetValOtherFlag:
+    SRC = """extern int compute(int x);
+    void f(void) { compute(3); }
+    """
+
+    def test_default_ignores_unused_results(self):
+        assert codes(self.SRC) == []
+
+    def test_flag_reports_ignored_result(self):
+        strict = Flags.from_args(["-allimponly", "+retvalother"])
+        assert MessageCode.RET_VAL_IGNORED in codes(self.SRC, flags=strict)
+
+    def test_void_cast_is_not_reported(self):
+        strict = Flags.from_args(["-allimponly", "+retvalother"])
+        src = "extern int compute(int x);\nvoid f(void) { (void) compute(3); }\n"
+        assert codes(src, flags=strict) == []
+
+    def test_void_function_not_reported(self):
+        strict = Flags.from_args(["-allimponly", "+retvalother"])
+        src = "extern void act(void);\nvoid f(void) { act(); }\n"
+        assert codes(src, flags=strict) == []

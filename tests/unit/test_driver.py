@@ -1,0 +1,211 @@
+"""Tests for the CLI driver and interface libraries."""
+
+import pytest
+
+from repro.core.api import Checker
+from repro.driver.cli import CliError, run
+from repro.driver.library import (
+    LibraryError,
+    load_library,
+    merge_symtabs,
+    save_library,
+)
+from repro.frontend.symtab import SymbolTable
+
+SAMPLE = """extern /*@only@*/ char *gname;
+
+void setName (/*@temp@*/ char *pname)
+{
+  gname = pname;
+}
+"""
+
+CLEAN = "int f(int x) { return x + 1; }\n"
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = tmp_path / "sample.c"
+    path.write_text(SAMPLE)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+class TestCli:
+    def test_reports_messages_and_exit_status(self, sample_file):
+        status, output = run([sample_file])
+        assert status == 2
+        assert "Only storage gname not released" in output
+        assert "2 code warning(s)" in output
+
+    def test_clean_file_exits_zero(self, clean_file):
+        status, output = run([clean_file])
+        assert status == 0
+        assert "0 code warning(s)" in output
+
+    def test_flag_settings(self, sample_file):
+        status, _ = run(["-mustfree", "-memtrans", sample_file])
+        assert status == 0
+
+    def test_gcmode(self, sample_file):
+        status, output = run(["+gcmode", sample_file])
+        assert "not released" not in output
+
+    def test_quiet(self, clean_file):
+        _, output = run(["-quiet", clean_file])
+        assert "warning" not in output
+
+    def test_stats(self, sample_file):
+        _, output = run(["-stats", sample_file])
+        assert "functions checked: 1" in output
+        assert "leak-overwrite" in output
+
+    def test_help(self):
+        status, output = run(["--help"])
+        assert status == 0
+        assert "pylclint" in output
+
+    def test_flags_listing(self):
+        status, output = run(["-flags"])
+        assert status == 0
+        assert "allimponly" in output
+        assert "gcmode" in output
+
+    def test_no_input_files(self):
+        with pytest.raises(CliError):
+            run([])
+
+    def test_unknown_flag(self, clean_file):
+        with pytest.raises(CliError):
+            run(["-definitelynotaflag", clean_file])
+
+    def test_dot_output(self, clean_file):
+        status, output = run(["-dot", "f", clean_file])
+        assert 'digraph "f"' in output
+
+    def test_dot_unknown_function(self, clean_file):
+        with pytest.raises(CliError):
+            run(["-dot", "nonexistent", clean_file])
+
+    def test_headers_on_command_line(self, tmp_path):
+        (tmp_path / "api.h").write_text("extern int bump(int x);\n")
+        (tmp_path / "use.c").write_text(
+            '#include "api.h"\nint g(void) { return bump(1); }\n'
+        )
+        status, _ = run([str(tmp_path / "use.c"), str(tmp_path / "api.h")])
+        assert status == 0
+
+    def test_exit_status_capped(self, tmp_path):
+        lines = ["#include <stdlib.h>"]
+        for i in range(130):
+            lines.append(f"void f{i}(char *p) {{ free(p); }}")
+        path = tmp_path / "many.c"
+        path.write_text("\n".join(lines))
+        status, _ = run(["-quiet", str(path)])
+        assert status == 125
+
+
+class TestLibraries:
+    def test_round_trip(self, tmp_path):
+        result = Checker().check_sources(
+            {"m.c": "extern /*@null@*/ char *gp;\nint helper(int v) { return v; }\n"}
+        )
+        path = str(tmp_path / "m.lcd")
+        save_library(result.symtab, path)
+        loaded = load_library(path)
+        assert "helper" in loaded.functions
+        assert "gp" in loaded.globals
+        assert loaded.globals["gp"].annotations.null is not None
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.lcd"
+        path.write_bytes(b"not a library")
+        with pytest.raises(LibraryError):
+            load_library(str(path))
+
+    def test_merge_prefers_definitions(self):
+        proto = Checker().check_sources({"a.c": "extern int f(int);\n"})
+        defn = Checker().check_sources({"b.c": "int f(int x) { return x; }\n"})
+        base = SymbolTable()
+        merge_symtabs(base, proto.symtab)
+        merge_symtabs(base, defn.symtab)
+        assert base.functions["f"].has_definition
+
+    def test_cross_module_checking_with_library(self, tmp_path):
+        # Module A defines an allocator with an only return; module B
+        # misuses it. Checking B alone with A's library finds the bug.
+        mod_a = """#include <stdlib.h>
+        /*@null@*/ /*@only@*/ char *mk(void) { return (char *) malloc(4); }
+        """
+        result_a = Checker().check_sources({"a.c": mod_a})
+        lib = str(tmp_path / "a.lcd")
+        save_library(result_a.symtab, lib)
+
+        checker = Checker()
+        checker.load_library(lib)
+        result_b = checker.check_units(
+            [checker.parse_unit(
+                "void use(void) { char *p = mk(); if (p) { *p = 'x'; } }",
+                "b.c",
+            )]
+        )
+        assert any("leak" in m.code.slug for m in result_b.messages)
+
+    def test_cli_dump_and_load(self, tmp_path, clean_file):
+        lib = str(tmp_path / "prog.lcd")
+        status, output = run(["-dump", lib, clean_file])
+        assert status == 0
+        assert "interface library written" in output
+        status2, _ = run(["-load", lib, clean_file])
+        assert status2 == 0
+
+
+class TestCliErrorHandling:
+    def test_parse_error_becomes_a_message(self, tmp_path):
+        bad = tmp_path / "broken.c"
+        bad.write_text("int x = ;\nint ok(int v) { return v; }\n")
+        status, output = run([str(bad)])
+        assert status == 1
+        assert "Parse error" in output
+
+    def test_lex_error_is_a_cli_error(self, tmp_path):
+        bad = tmp_path / "broken.c"
+        bad.write_text('char *s = "unterminated\n')
+        with pytest.raises(CliError, match="cannot check input"):
+            run([str(bad)])
+
+    def test_missing_file_is_a_cli_error(self):
+        with pytest.raises(CliError):
+            run(["/nonexistent/definitely/missing.c"])
+
+    def test_main_returns_2_on_cli_error(self, capsys):
+        from repro.driver.cli import main
+
+        status = main(["/nonexistent/missing.c"])
+        assert status == 2
+        assert "pylclint:" in capsys.readouterr().err
+
+
+class TestCliTrace:
+    def test_trace_output(self, tmp_path):
+        path = tmp_path / "t.c"
+        path.write_text(
+            "int f(/*@null@*/ int *p) {\n"
+            "  if (p != NULL) { return *p; }\n"
+            "  return 0;\n"
+            "}\n"
+        )
+        status, output = run(["-quiet", "-trace", "f", str(path)])
+        assert "Function Entrance" in output
+        assert "possibly null" in output
+        assert "Function Exit" in output
+
+    def test_trace_unknown_function(self, clean_file):
+        with pytest.raises(CliError):
+            run(["-trace", "missing", clean_file])

@@ -1,0 +1,161 @@
+"""Tests for the flag registry, reporter, and suppression machinery."""
+
+import pytest
+
+from repro.flags.registry import DEFAULT_FLAGS, FLAG_REGISTRY, Flags, UnknownFlag
+from repro.frontend.lexer import tokenize
+from repro.frontend.source import Location, SourceFile
+from repro.frontend.tokens import TokenKind
+from repro.messages.message import Message, MessageCode
+from repro.messages.reporter import Reporter
+from repro.messages.suppress import SuppressionTable
+
+
+class TestFlags:
+    def test_defaults(self):
+        assert DEFAULT_FLAGS.enabled("null")
+        assert DEFAULT_FLAGS.enabled("allimponly")
+        assert not DEFAULT_FLAGS.enabled("gcmode")
+
+    def test_with_flag(self):
+        f = DEFAULT_FLAGS.with_flag("null", False)
+        assert not f.enabled("null")
+        assert DEFAULT_FLAGS.enabled("null")  # immutable
+
+    def test_from_args_minus_and_plus(self):
+        f = Flags.from_args(["-null", "+gcmode"])
+        assert not f.enabled("null")
+        assert f.enabled("gcmode")
+
+    def test_unknown_flag(self):
+        with pytest.raises(UnknownFlag):
+            Flags.from_args(["-nosuchflag"])
+        with pytest.raises(UnknownFlag):
+            DEFAULT_FLAGS.enabled("nosuchflag")
+        with pytest.raises(UnknownFlag):
+            Flags({"bogus": True})
+
+    def test_malformed_arg(self):
+        with pytest.raises(UnknownFlag):
+            Flags.from_args(["null"])
+
+    def test_registry_has_descriptions(self):
+        for info in FLAG_REGISTRY.values():
+            assert info.description
+            assert info.category
+
+    def test_convenience_properties(self):
+        assert DEFAULT_FLAGS.implicit_only
+        assert not Flags.from_args(["-allimponly"]).implicit_only
+        assert Flags.from_args(["+gcmode"]).gc_mode
+
+
+def loc(line, filename="t.c"):
+    return Location(filename, line, 1)
+
+
+class TestReporter:
+    def test_report_and_render(self):
+        r = Reporter()
+        r.report(MessageCode.NULL_DEREF, loc(5), "Dereference of possibly null p")
+        assert len(r) == 1
+        assert "t.c:5" in r.render()
+
+    def test_flag_filtering(self):
+        r = Reporter(flags=Flags.from_args(["-null"]))
+        r.report(MessageCode.NULL_DEREF, loc(5), "msg")
+        assert len(r) == 0
+        assert r.suppressed_count == 1
+
+    def test_deduplication(self):
+        r = Reporter()
+        for _ in range(3):
+            r.report(MessageCode.NULL_DEREF, loc(5), "same message")
+        assert len(r) == 1
+
+    def test_sub_locations_rendered_indented(self):
+        r = Reporter()
+        r.report(
+            MessageCode.NULL_RET_GLOBAL, loc(6),
+            "Function returns with non-null global gname referencing null storage",
+            subs=[(loc(5), "Storage gname may become null")],
+        )
+        text = r.messages[0].render()
+        lines = text.split("\n")
+        assert lines[0].startswith("t.c:6: ")
+        assert lines[1].startswith("   t.c:5: ")
+
+    def test_sorted_by_location(self):
+        r = Reporter()
+        r.report(MessageCode.NULL_DEREF, loc(9), "later")
+        r.report(MessageCode.NULL_DEREF, loc(2), "earlier")
+        msgs = r.sorted_messages()
+        assert msgs[0].location.line == 2
+
+    def test_by_code(self):
+        r = Reporter()
+        r.report(MessageCode.NULL_DEREF, loc(1), "a")
+        r.report(MessageCode.LEAK_SCOPE, loc(2), "b")
+        grouped = r.by_code()
+        assert set(grouped) == {MessageCode.NULL_DEREF, MessageCode.LEAK_SCOPE}
+
+
+def controls_of(text):
+    toks = tokenize(SourceFile("t.c", text))
+    return [t for t in toks if t.kind is TokenKind.CONTROL]
+
+
+def msg(line, code=MessageCode.NULL_DEREF):
+    return Message(code, loc(line), f"message at {line}")
+
+
+class TestSuppression:
+    def test_ignore_end_region(self):
+        table = SuppressionTable.from_controls(
+            controls_of("/*@ignore@*/\n\n\n/*@end@*/")
+        )
+        kept, dropped = table.filter([msg(2), msg(10)])
+        assert [m.location.line for m in kept] == [10]
+        assert dropped == 1
+
+    def test_unterminated_ignore_suppresses_rest_of_file(self):
+        table = SuppressionTable.from_controls(controls_of("/*@ignore@*/"))
+        kept, dropped = table.filter([msg(100)])
+        assert kept == []
+        assert dropped == 1
+
+    def test_end_without_ignore_is_problem(self):
+        table = SuppressionTable.from_controls(controls_of("/*@end@*/"))
+        assert table.problems
+
+    def test_line_ignore_budget(self):
+        table = SuppressionTable.from_controls(controls_of("\n/*@i@*/"))
+        kept, dropped = table.filter([msg(2), msg(2)])
+        assert dropped == 1  # budget of one
+        assert len(kept) == 1
+
+    def test_line_ignore_n(self):
+        table = SuppressionTable.from_controls(controls_of("\n/*@i2@*/"))
+        kept, dropped = table.filter([msg(2), msg(2), msg(2)])
+        assert dropped == 2
+        assert len(kept) == 1
+
+    def test_flag_region_suppresses_matching_code_only(self):
+        table = SuppressionTable.from_controls(
+            controls_of("/*@-null@*/\n\n/*@+null@*/")
+        )
+        null_msg = msg(2, MessageCode.NULL_DEREF)
+        leak_msg = msg(2, MessageCode.LEAK_SCOPE)
+        kept, dropped = table.filter([null_msg, leak_msg])
+        assert kept == [leak_msg]
+        assert dropped == 1
+
+    def test_unknown_flag_in_control_comment(self):
+        table = SuppressionTable.from_controls(controls_of("/*@-bogusflag@*/"))
+        assert table.problems
+
+    def test_different_file_not_suppressed(self):
+        table = SuppressionTable.from_controls(controls_of("/*@ignore@*/"))
+        other = Message(MessageCode.NULL_DEREF, loc(1, "other.c"), "m")
+        kept, _ = table.filter([other])
+        assert kept == [other]

@@ -1,0 +1,130 @@
+"""LCL specification files: bare annotation words (paper section 4).
+
+"We can use annotations in LCL specifications, or directly in the source
+code as syntactic comments." The paper writes the standard library specs
+in LCL form: ``null out only void *malloc (size_t size);``.
+"""
+
+from repro import Checker, Flags
+from repro.annotations.kinds import AllocAnn, DefAnn, NullAnn
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+
+def parse_lcl(text: str):
+    checker = Checker()
+    return checker, checker.parse_unit(text, "spec.lcl")
+
+
+class TestLclParsing:
+    def test_malloc_spec_verbatim_from_paper(self):
+        checker, parsed = parse_lcl(
+            "null out only void *my_alloc (size_t size);\n"
+        )
+        result = checker.check_units([parsed])
+        sig = result.symtab.function("my_alloc")
+        ann = sig.ret_annotations
+        assert ann.null is NullAnn.NULL
+        assert ann.definition is DefAnn.OUT
+        assert ann.alloc is AllocAnn.ONLY
+
+    def test_free_spec_verbatim_from_paper(self):
+        checker, parsed = parse_lcl(
+            "void my_free (null out only void *ptr);\n"
+        )
+        result = checker.check_units([parsed])
+        ann = result.symtab.function("my_free").params[0].annotations
+        assert ann.null is NullAnn.NULL
+        assert ann.alloc is AllocAnn.ONLY
+
+    def test_strcpy_spec_verbatim_from_paper(self):
+        checker, parsed = parse_lcl(
+            "char *my_strcpy (out returned unique char *s1, char *s2);\n"
+        )
+        result = checker.check_units([parsed])
+        ann = result.symtab.function("my_strcpy").params[0].annotations
+        assert ann.definition is DefAnn.OUT
+        assert ann.returned
+        assert ann.unique
+
+    def test_bare_words_not_consumed_in_c_mode(self):
+        # In a .c file, 'out' is an ordinary identifier.
+        checker = Checker()
+        parsed = checker.parse_unit("int out;\nint f(void) { return out; }\n",
+                                    "plain.c")
+        result = checker.check_units([parsed])
+        assert result.symtab.global_var("out") is not None
+        assert result.messages == []
+
+    def test_annotation_words_usable_as_names_after_type(self):
+        checker, parsed = parse_lcl("int count (int only_mode);\n")
+        result = checker.check_units([parsed])
+        assert result.symtab.function("count") is not None
+
+
+class TestLclDrivesChecking:
+    def test_spec_checked_against_implementation(self):
+        spec = "only char *make_label (temp char *base);\n"
+        impl = """#include <string.h>
+        #include <stdlib.h>
+        char *make_label (char *base)
+        {
+          char *copy = (char *) malloc(strlen(base) + 2);
+          if (copy == NULL) { exit(1); }
+          strcpy(copy, base);
+          return copy;
+        }
+        """
+        checker = Checker(flags=NOIMP)
+        spec_unit = checker.parse_unit(spec, "label.lcl")
+        impl_unit = checker.parse_unit(impl, "label.c")
+        result = checker.check_units([spec_unit, impl_unit])
+        assert result.messages == []
+
+    def test_spec_violation_detected(self):
+        spec = "void consume (only char *p);\n"
+        impl = "void caller (/*@temp@*/ char *q) { consume(q); }\n"
+        checker = Checker(flags=NOIMP)
+        result = checker.check_units(
+            [checker.parse_unit(spec, "c.lcl"), checker.parse_unit(impl, "c.c")]
+        )
+        assert any(m.code is MessageCode.BAD_TRANSFER for m in result.messages)
+
+
+class TestKillref:
+    API = """typedef struct _h { int refs; } *handle;
+    extern /*@refcounted@*/ handle handle_get(int which);
+    extern void handle_release(/*@killref@*/ handle h);
+    """
+
+    def test_refcounted_round_trip_clean(self):
+        src = self.API + """
+        void f(void) {
+            handle h = handle_get(0);
+            handle_release(h);
+        }"""
+        checker = Checker(flags=NOIMP)
+        result = checker.check_units([checker.parse_unit(src, "h.c")])
+        assert result.messages == []
+
+    def test_non_refcounted_killref_reported(self):
+        src = self.API + """
+        void f(/*@temp@*/ handle h) {
+            handle_release(h);
+        }"""
+        checker = Checker(flags=NOIMP)
+        result = checker.check_units([checker.parse_unit(src, "h.c")])
+        assert any(
+            "passed as killref" in m.text for m in result.messages
+        )
+
+    def test_refcounted_not_freeable(self):
+        src = "#include <stdlib.h>\n" + self.API + """
+        void f(void) {
+            handle h = handle_get(0);
+            free(h);
+        }"""
+        checker = Checker(flags=NOIMP)
+        result = checker.check_units([checker.parse_unit(src, "h.c")])
+        assert any("Refcounted storage" in m.text for m in result.messages)

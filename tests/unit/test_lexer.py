@@ -1,0 +1,143 @@
+"""Tests for the annotation-preserving C lexer."""
+
+import pytest
+
+from repro.frontend.lexer import LexError, tokenize
+from repro.frontend.source import SourceFile
+from repro.frontend.tokens import TokenKind
+
+
+def lex(text):
+    return [t for t in tokenize(SourceFile("t.c", text)) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_and_identifiers(self):
+        toks = lex("int foo; while whilst")
+        assert [(t.kind, t.value) for t in toks[:2]] == [
+            (TokenKind.KEYWORD, "int"),
+            (TokenKind.IDENT, "foo"),
+        ]
+        kinds = {t.value: t.kind for t in toks}
+        assert kinds["while"] is TokenKind.KEYWORD
+        assert kinds["whilst"] is TokenKind.IDENT
+
+    def test_punctuators_longest_match(self):
+        toks = lex("a <<= b >> c->d ... e")
+        values = [t.value for t in toks if t.kind is TokenKind.PUNCT]
+        assert "<<=" in values
+        assert ">>" in values
+        assert "->" in values
+        assert "..." in values
+
+    def test_integer_constants(self):
+        toks = lex("0 42 0x1F 077 10L 3U")
+        assert all(t.kind is TokenKind.INT_CONST for t in toks)
+
+    def test_float_constants(self):
+        toks = lex("1.5 2e10 3.14f .5 1e-3")
+        assert all(t.kind is TokenKind.FLOAT_CONST for t in toks)
+
+    def test_number_at_end_of_file_terminates(self):
+        # Regression: "" in "uUlL" is True, which once caused a hang.
+        toks = lex("32767")
+        assert toks[0].value == "32767"
+
+    def test_char_constants(self):
+        toks = lex(r"'a' '\n' '\\' '\0'")
+        assert all(t.kind is TokenKind.CHAR_CONST for t in toks)
+
+    def test_string_literals(self):
+        toks = lex(r'"hello" "with \"quote\"" ""')
+        assert all(t.kind is TokenKind.STRING for t in toks)
+        assert toks[0].value == '"hello"'
+
+    def test_locations(self):
+        toks = lex("int\n  x;")
+        assert toks[0].location.line == 1
+        assert toks[1].location.line == 2
+        assert toks[1].location.column == 3
+
+
+class TestComments:
+    def test_plain_comments_discarded(self):
+        assert [t.value for t in lex("a /* comment */ b")] == ["a", "b"]
+
+    def test_line_comments_discarded(self):
+        assert [t.value for t in lex("a // comment\nb")] == ["a", "b"]
+
+    def test_annotation_comment_preserved(self):
+        toks = lex("/*@null@*/ char *p;")
+        assert toks[0].kind is TokenKind.ANNOTATION
+        assert toks[0].value == "null"
+
+    def test_annotation_without_trailing_at(self):
+        toks = lex("/*@only temp*/ int x;")
+        assert toks[0].kind is TokenKind.ANNOTATION
+        assert toks[0].value == "only temp"
+
+    def test_multiword_annotation(self):
+        toks = lex("/*@null out only@*/ void *p;")
+        assert toks[0].value == "null out only"
+
+    def test_in_annotation_is_not_control(self):
+        toks = lex("/*@in@*/ int *p;")
+        assert toks[0].kind is TokenKind.ANNOTATION
+
+    def test_ignore_control_comment(self):
+        toks = lex("/*@ignore@*/ x /*@end@*/")
+        assert toks[0].kind is TokenKind.CONTROL
+        assert toks[0].value == "ignore"
+        assert toks[2].kind is TokenKind.CONTROL
+
+    def test_i_control_comment(self):
+        toks = lex("/*@i@*/ /*@i3@*/")
+        assert all(t.kind is TokenKind.CONTROL for t in toks)
+
+    def test_flag_control_comments(self):
+        toks = lex("/*@-null@*/ x /*@+null@*/")
+        assert toks[0].kind is TokenKind.CONTROL
+        assert toks[0].value == "-null"
+        assert toks[2].value == "+null"
+
+    def test_drop_annotations_mode(self):
+        toks = tokenize(SourceFile("t.c", "/*@null@*/ int x;"), keep_annotations=False)
+        assert toks[0].kind is TokenKind.KEYWORD
+
+
+class TestLexErrors:
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            lex("a /* never closed")
+
+    def test_unterminated_annotation(self):
+        with pytest.raises(LexError):
+            lex("/*@null")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            lex('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            lex('"abc\ndef"')
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            lex("int `x;")
+
+    def test_error_carries_location(self):
+        try:
+            lex('x\n"unterminated')
+        except LexError as exc:
+            assert exc.location.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected LexError")
+
+
+class TestBackslashContinuation:
+    def test_backslash_newline_joins(self):
+        toks = lex("ab\\\ncd")
+        assert toks[0].value == "ab"  # identifier scanning stops at backslash
+        # The continuation is consumed as whitespace between tokens.
+        assert [t.value for t in toks] == ["ab", "cd"]

@@ -1,0 +1,150 @@
+"""The message catalogue: every MessageCode is producible and controlled
+by a registered flag.
+
+Each snippet below is the minimal program that triggers one check class;
+together they pin the whole reporting surface of the checker.
+"""
+
+import pytest
+
+from repro import Flags, check_source
+from repro.flags.registry import FLAG_REGISTRY
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+#: MessageCode -> (source, flags) that must produce it.
+CATALOG: dict[MessageCode, tuple[str, Flags]] = {
+    MessageCode.NULL_DEREF: (
+        "int f(/*@null@*/ int *p) { return *p; }", NOIMP,
+    ),
+    MessageCode.NULL_RET_GLOBAL: (
+        "extern char *g;\nvoid f(/*@null@*/ char *p) { g = p; }", NOIMP,
+    ),
+    MessageCode.NULL_RET_VALUE: (
+        "char *f(/*@null@*/ /*@temp@*/ char *p) { return p; }", NOIMP,
+    ),
+    MessageCode.NULL_PARAM: (
+        "extern void use(char *p);\nvoid f(/*@null@*/ char *p) { use(p); }",
+        NOIMP,
+    ),
+    MessageCode.USE_BEFORE_DEF: (
+        "int f(void) { int x; return x; }", NOIMP,
+    ),
+    MessageCode.INCOMPLETE_DEF: (
+        "void f(/*@out@*/ int *p) { }", NOIMP,
+    ),
+    MessageCode.PARAM_NOT_DEFINED: (
+        "#include <stdlib.h>\nextern void use(int *p);\n"
+        "void f(void) { int *p = (int *) malloc(4); if (p) { use(p); "
+        "free(p); } }",
+        NOIMP,
+    ),
+    MessageCode.USE_AFTER_RELEASE: (
+        "#include <stdlib.h>\n"
+        "char f(/*@only@*/ char *p) { free(p); return *p; }",
+        NOIMP,
+    ),
+    MessageCode.LEAK_OVERWRITE: (
+        "extern /*@only@*/ char *g;\n"
+        "void f(/*@only@*/ char *p) { g = p; }",
+        NOIMP,
+    ),
+    MessageCode.LEAK_SCOPE: (
+        "#include <stdlib.h>\n"
+        "void f(void) { char *p = (char *) malloc(4); if (p) { *p = 1; } }",
+        NOIMP,
+    ),
+    MessageCode.LEAK_RETURN: (
+        "#include <stdlib.h>\n"
+        "char *f(void) { char *p = (char *) malloc(4); "
+        "if (p == NULL) { exit(1); } *p = 'x'; return p; }",
+        NOIMP,
+    ),
+    MessageCode.LEAK_RESULT: (
+        "#include <stdlib.h>\nvoid f(void) { malloc(4); }", NOIMP,
+    ),
+    MessageCode.ONLY_NOT_RELEASED: (
+        "void f(/*@only@*/ char *p) { }", NOIMP,
+    ),
+    MessageCode.TEMP_TO_ONLY: (
+        "extern /*@only@*/ char *g;\n"
+        "void f(/*@temp@*/ char *p) { g = p; }",
+        NOIMP,
+    ),
+    MessageCode.BAD_TRANSFER: (
+        "#include <stdlib.h>\nvoid f(/*@temp@*/ char *p) { free(p); }",
+        NOIMP,
+    ),
+    MessageCode.IMPLICIT_TRANSFER: (
+        "#include <stdlib.h>\nvoid f(char *p) { free(p); }", NOIMP,
+    ),
+    MessageCode.CONFLUENCE: (
+        "#include <stdlib.h>\n"
+        "void f(/*@only@*/ char *p, int c) { if (c) { free(p); } }",
+        NOIMP,
+    ),
+    MessageCode.UNIQUE_ALIAS: (
+        "extern void copy(/*@unique@*/ /*@out@*/ char *d, char *s);\n"
+        "void f(char *a, char *b) { copy(a, b); }",
+        NOIMP,
+    ),
+    MessageCode.TEMP_ALIAS: (
+        "extern char *registry;\n"
+        "void f(/*@temp@*/ char *p) { registry = p; }",
+        NOIMP,
+    ),
+    MessageCode.OBSERVER_MODIFIED: (
+        "extern /*@observer@*/ char *peek(void);\n"
+        "void f(void) { char *p = peek(); p[0] = 'x'; }",
+        NOIMP,
+    ),
+    MessageCode.ANNOTATION_PROBLEM: (
+        "extern /*@null@*/ /*@notnull@*/ char *p;", NOIMP,
+    ),
+    MessageCode.GLOBAL_RELEASED: (
+        "#include <stdlib.h>\nextern /*@only@*/ char *g;\n"
+        "void f(void) { free(g); }",
+        NOIMP,
+    ),
+    MessageCode.GLOBAL_UNDEFINED: (
+        "extern int g;\nvoid f(void) /*@globals undef g@*/ { }", NOIMP,
+    ),
+    MessageCode.RET_VAL_IGNORED: (
+        "extern int compute(void);\nvoid f(void) { compute(); }",
+        Flags.from_args(["-allimponly", "+retvalother"]),
+    ),
+    MessageCode.MODIFIES: (
+        "extern int g;\nvoid f(void) /*@modifies nothing@*/ { g = 1; }",
+        NOIMP,
+    ),
+    MessageCode.PARSE_ERROR: (
+        "int broken(int x) { return x + ; }", NOIMP,
+    ),
+}
+
+
+class TestCatalogComplete:
+    def test_every_code_has_a_snippet(self):
+        assert set(CATALOG) == set(MessageCode)
+
+    @pytest.mark.parametrize(
+        "code", sorted(MessageCode, key=lambda c: c.slug)
+    )
+    def test_snippet_produces_its_code(self, code):
+        source, flags = CATALOG[code]
+        result = check_source(source, "catalog.c", flags=flags)
+        assert code in [m.code for m in result.messages], (
+            f"{code.slug}: got "
+            f"{[(m.code.slug, m.text) for m in result.messages]}"
+        )
+
+    @pytest.mark.parametrize(
+        "code", sorted(MessageCode, key=lambda c: c.slug)
+    )
+    def test_every_code_is_flag_controlled(self, code):
+        assert code.flag in FLAG_REGISTRY
+        source, flags = CATALOG[code]
+        silenced = flags.with_flag(code.flag, False)
+        result = check_source(source, "catalog.c", flags=silenced)
+        assert code not in [m.code for m in result.messages]

@@ -1,0 +1,83 @@
+"""Modifies-clause checking (LCL specifications; paper section 2 lists
+'constraints on what may be modified ... by a called function')."""
+
+from repro import Checker, Flags, check_source
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+
+def codes(source, flags=NOIMP):
+    return [m.code for m in check_source(source, "t.c", flags=flags).messages]
+
+
+def texts(source, flags=NOIMP):
+    return [m.text for m in check_source(source, "t.c", flags=flags).messages]
+
+
+class TestModifiesClauses:
+    def test_listed_modification_ok(self):
+        src = """extern int counter;
+        void tick(void) /*@globals counter@*/ /*@modifies counter@*/ {
+            counter = counter + 1;
+        }"""
+        assert codes(src) == []
+
+    def test_unlisted_modification_reported(self):
+        src = """extern int counter;
+        extern int other;
+        void f(void) /*@globals counter, other@*/ /*@modifies counter@*/ {
+            counter = 1;
+            other = 2;
+        }"""
+        msgs = texts(src)
+        assert any("Undocumented modification of global other" in m
+                   for m in msgs)
+        assert not any("of global counter" in m for m in msgs)
+
+    def test_modifies_nothing(self):
+        src = """extern int g;
+        void peek(void) /*@globals g@*/ /*@modifies nothing@*/ {
+            g = 1;
+        }"""
+        assert MessageCode.MODIFIES in codes(src)
+
+    def test_no_clause_means_no_check(self):
+        src = """extern int g;
+        void f(void) { g = 1; }"""
+        assert MessageCode.MODIFIES not in codes(src)
+
+    def test_field_modification_counts(self):
+        src = """typedef struct { int v; } box;
+        extern box state;
+        void f(void) /*@modifies nothing@*/ { state.v = 3; }"""
+        assert MessageCode.MODIFIES in codes(src)
+
+    def test_clause_on_prototype_checks_definition(self):
+        src = """extern int g;
+        extern void f(void) /*@modifies nothing@*/;
+        void f(void) { g = 1; }"""
+        assert MessageCode.MODIFIES in codes(src)
+
+    def test_flag_disables(self):
+        src = """extern int g;
+        void f(void) /*@modifies nothing@*/ { g = 1; }"""
+        off = Flags.from_args(["-allimponly", "-mods"])
+        assert MessageCode.MODIFIES not in codes(src, flags=off)
+
+    def test_lcl_spec_modifies(self):
+        checker = Checker(flags=NOIMP)
+        spec = checker.parse_unit(
+            "extern int total;\nvoid accumulate(int v) /*@modifies total@*/;\n",
+            "acc.lcl",
+        )
+        impl = checker.parse_unit(
+            "extern int total;\nextern int calls;\n"
+            "void accumulate(int v) { total = total + v; calls = calls + 1; }\n",
+            "acc.c",
+        )
+        result = checker.check_units([spec, impl])
+        assert any(
+            "Undocumented modification of global calls" in m.text
+            for m in result.messages
+        )

@@ -1,0 +1,143 @@
+"""Tests for the expression renderer and the C type model."""
+
+from repro.annotations.kinds import EMPTY_ANNOTATIONS
+from repro.core.api import Checker
+from repro.frontend import cast as A
+from repro.frontend.ctypes import (
+    Array,
+    EnumType,
+    FieldDecl,
+    FunctionType,
+    ParamType,
+    Pointer,
+    Primitive,
+    StructType,
+    TypedefType,
+    is_pointerish,
+    pointee_type,
+    strip_typedefs,
+    struct_fields,
+)
+from repro.frontend.render import render_expr
+
+
+def render_of(statement: str) -> str:
+    source = f"void f(int a, int b, int *p) {{ {statement}; }}"
+    parsed = Checker().parse_unit(source, "r.c")
+    stmt = parsed.unit.functions()[0].body.items[0]
+    return render_expr(stmt.expr)
+
+
+class TestRenderer:
+    def test_simple_assignment(self):
+        assert render_of("a = b") == "a = b"
+
+    def test_precedence_no_redundant_parens(self):
+        assert render_of("a = a + b * 2") == "a = a + b * 2"
+
+    def test_parens_preserved_when_needed(self):
+        assert render_of("a = (a + b) * 2") == "a = (a + b) * 2"
+
+    def test_member_chain(self):
+        source = """struct s { int x; struct s *next; };
+        void f(struct s *p) { p->next->x = 1; }"""
+        parsed = Checker().parse_unit(source, "r.c")
+        stmt = parsed.unit.functions()[0].body.items[0]
+        assert render_expr(stmt.expr) == "p->next->x = 1"
+
+    def test_unary_and_deref(self):
+        assert render_of("a = -*p") == "a = -*p"
+        assert render_of("a = !(a && b)") == "a = !(a && b)"
+
+    def test_call_and_index(self):
+        source = "extern int g(int, int);\nvoid f(int *p) { p[2] = g(1, 2); }"
+        parsed = Checker().parse_unit(source, "r.c")
+        stmt = parsed.unit.functions()[0].body.items[0]
+        assert render_expr(stmt.expr) == "p[2] = g(1, 2)"
+
+    def test_nested_ternary_condition_parenthesized(self):
+        expr = A.Ternary(
+            None,
+            cond=A.Ternary(None, cond=A.Ident(None, name="a"),
+                           then=A.Ident(None, name="b"),
+                           other=A.Ident(None, name="c")),
+            then=A.IntLit(None, value=1, spelling="1"),
+            other=A.IntLit(None, value=2, spelling="2"),
+        )
+        assert render_expr(expr) == "(a ? b : c) ? 1 : 2"
+
+    def test_sizeof_forms(self):
+        assert render_of("a = sizeof(*p)") == "a = sizeof(*p)"
+
+    def test_init_list(self):
+        expr = A.InitList(None, items=[A.IntLit(None, value=1, spelling="1"),
+                                       A.IntLit(None, value=2, spelling="2")])
+        assert render_expr(expr) == "{1, 2}"
+
+    def test_associativity_parens(self):
+        # (a - b) - c prints without parens; a - (b - c) keeps them
+        assert render_of("a = a - b - 2") == "a = a - b - 2"
+        assert render_of("a = a - (b - 2)") == "a = a - (b - 2)"
+
+
+class TestCTypes:
+    def test_strip_typedefs(self):
+        inner = Pointer(Primitive("char"))
+        t1 = TypedefType("string", inner, EMPTY_ANNOTATIONS)
+        t2 = TypedefType("alias", t1, EMPTY_ANNOTATIONS)
+        assert strip_typedefs(t2) is inner
+
+    def test_is_pointerish(self):
+        assert is_pointerish(Pointer(Primitive("int")))
+        assert is_pointerish(Array(Primitive("char"), 4))
+        assert not is_pointerish(Primitive("int"))
+        assert is_pointerish(
+            TypedefType("p", Pointer(Primitive("int")), EMPTY_ANNOTATIONS)
+        )
+
+    def test_pointee(self):
+        assert pointee_type(Pointer(Primitive("int"))) == Primitive("int")
+        assert pointee_type(Primitive("int")) is None
+
+    def test_struct_identity_semantics(self):
+        a = StructType("s", fields=[])
+        b = StructType("s", fields=[])
+        assert a == a
+        assert a != b
+        assert len({a, b}) == 2
+
+    def test_struct_fields_helper(self):
+        s = StructType("s")
+        s.fields = [FieldDecl("x", Primitive("int"), EMPTY_ANNOTATIONS)]
+        ptr = Pointer(s)
+        assert struct_fields(s) == s.fields
+        assert struct_fields(Primitive("int")) == []
+        assert s.field_named("x") is not None
+        assert s.field_named("nope") is None
+
+    def test_incomplete_struct(self):
+        s = StructType("fwd")
+        assert not s.is_complete
+        s.fields = []
+        assert s.is_complete
+
+    def test_function_type_str(self):
+        f = FunctionType(
+            Primitive("int"),
+            [ParamType("x", Primitive("int"), EMPTY_ANNOTATIONS)],
+            variadic=True,
+        )
+        assert "..." in str(f)
+        assert f.is_function()
+
+    def test_enum_type(self):
+        e = EnumType("color", {"RED": 0})
+        assert "color" in str(e)
+        assert e != EnumType("color", {"RED": 0})
+
+    def test_str_forms(self):
+        assert str(Primitive("unsigned long")) == "unsigned long"
+        assert "*" in str(Pointer(Primitive("char")))
+        assert "[4]" in str(Array(Primitive("int"), 4))
+        assert "struct" in str(StructType("node"))
+        assert "union" in str(StructType("u", is_union=True))

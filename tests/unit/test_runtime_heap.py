@@ -1,0 +1,140 @@
+"""Tests for the instrumented heap (the run-time baseline's core)."""
+
+from repro.frontend.source import Location
+from repro.runtime.heap import (
+    NULL,
+    UNDEFINED,
+    InstrumentedHeap,
+    Pointer,
+    RuntimeEventKind,
+)
+
+LOC = Location("prog.c", 10, 1)
+ALLOC_LOC = Location("prog.c", 3, 1)
+
+
+def heap_and_block(slots=4):
+    heap = InstrumentedHeap()
+    obj = heap.new_object("heap", slots, slots, ALLOC_LOC, label="blk")
+    return heap, obj
+
+
+class TestLoadStore:
+    def test_store_then_load(self):
+        heap, obj = heap_and_block()
+        heap.store(Pointer(obj, 1), 42, LOC)
+        assert heap.load(Pointer(obj, 1), LOC) == 42
+        assert heap.events == []
+
+    def test_uninitialized_read(self):
+        heap, obj = heap_and_block()
+        heap.load(Pointer(obj, 0), LOC)
+        assert heap.events[0].kind is RuntimeEventKind.UNINIT_READ
+        assert heap.events[0].alloc_site == ALLOC_LOC
+
+    def test_null_read_and_write(self):
+        heap, _ = heap_and_block()
+        heap.load(NULL, LOC)
+        heap.store(NULL, 1, LOC)
+        kinds = [e.kind for e in heap.events]
+        assert kinds == [RuntimeEventKind.NULL_DEREF, RuntimeEventKind.NULL_DEREF]
+
+    def test_out_of_bounds(self):
+        heap, obj = heap_and_block(slots=2)
+        heap.store(Pointer(obj, 5), 1, LOC)
+        heap.load(Pointer(obj, -1), LOC)
+        kinds = {e.kind for e in heap.events}
+        assert kinds == {RuntimeEventKind.OUT_OF_BOUNDS}
+
+    def test_use_after_free(self):
+        heap, obj = heap_and_block()
+        heap.store(Pointer(obj, 0), 7, LOC)
+        heap.free(Pointer(obj, 0), LOC)
+        heap.load(Pointer(obj, 0), LOC)
+        heap.store(Pointer(obj, 0), 8, LOC)
+        kinds = [e.kind for e in heap.events]
+        assert kinds == [
+            RuntimeEventKind.USE_AFTER_FREE,
+            RuntimeEventKind.USE_AFTER_FREE,
+        ]
+
+
+class TestFree:
+    def test_free_null_is_noop(self):
+        heap, _ = heap_and_block()
+        heap.free(NULL, LOC)
+        assert heap.events == []
+
+    def test_double_free(self):
+        heap, obj = heap_and_block()
+        heap.free(Pointer(obj, 0), LOC)
+        heap.free(Pointer(obj, 0), LOC)
+        assert heap.events[0].kind is RuntimeEventKind.DOUBLE_FREE
+
+    def test_interior_pointer_free(self):
+        heap, obj = heap_and_block()
+        heap.free(Pointer(obj, 2), LOC)
+        assert heap.events[0].kind is RuntimeEventKind.INVALID_FREE
+        assert "interior" in heap.events[0].detail
+        assert not obj.freed
+
+    def test_free_of_non_heap(self):
+        heap = InstrumentedHeap()
+        obj = heap.new_object("static", 2, 2, ALLOC_LOC)
+        heap.free(Pointer(obj, 0), LOC)
+        assert heap.events[0].kind is RuntimeEventKind.INVALID_FREE
+
+    def test_counters(self):
+        heap = InstrumentedHeap()
+        a = heap.new_object("heap", 1, 1, ALLOC_LOC)
+        b = heap.new_object("heap", 1, 1, ALLOC_LOC)
+        heap.new_object("local", 1, 1, ALLOC_LOC)
+        assert heap.alloc_count == 2
+        assert heap.peak_live == 2
+        heap.free(Pointer(a, 0), LOC)
+        assert heap.free_count == 1
+        assert heap.live_blocks == 1
+        assert heap.leaked_blocks() == [b]
+
+
+class TestLeakReporting:
+    def test_report_leaks(self):
+        heap, obj = heap_and_block()
+        count = heap.report_leaks()
+        assert count == 1
+        leak = heap.events[-1]
+        assert leak.kind is RuntimeEventKind.LEAK
+        assert leak.alloc_site == ALLOC_LOC
+
+    def test_freed_blocks_not_leaked(self):
+        heap, obj = heap_and_block()
+        heap.free(Pointer(obj, 0), LOC)
+        assert heap.report_leaks() == 0
+
+    def test_event_render(self):
+        heap, obj = heap_and_block()
+        heap.load(Pointer(obj, 0), LOC)
+        text = heap.events[0].render()
+        assert "prog.c:10" in text
+        assert "uninitialized" in text
+        assert "prog.c:3" in text
+
+
+class TestUndefinedSentinel:
+    def test_singleton(self):
+        from repro.runtime.heap import _Undefined
+
+        assert _Undefined() is UNDEFINED
+
+    def test_repr(self):
+        assert repr(UNDEFINED) == "UNDEFINED"
+
+
+class TestPointer:
+    def test_null(self):
+        assert NULL.is_null
+        assert repr(NULL) == "NULL"
+
+    def test_not_null(self):
+        heap, obj = heap_and_block()
+        assert not Pointer(obj, 1).is_null

@@ -1,0 +1,159 @@
+"""Tests for the dataflow state lattices and confluence rules."""
+
+from repro.analysis.states import (
+    AllocState,
+    DefState,
+    NullState,
+    RefState,
+    from_annotations,
+    initial_alloc,
+    initial_def,
+    initial_null,
+    merge_alloc,
+    merge_def,
+    merge_null,
+)
+from repro.annotations.parse import parse_spec_words
+
+
+class TestDefMerge:
+    def test_same_is_identity(self):
+        for st in DefState:
+            merged, anomaly = merge_def(st, st)
+            assert merged is st
+            assert anomaly is None
+
+    def test_weakest_assumption(self):
+        merged, _ = merge_def(DefState.DEFINED, DefState.PARTIAL)
+        assert merged is DefState.PARTIAL
+        merged, _ = merge_def(DefState.ALLOCATED, DefState.DEFINED)
+        assert merged is DefState.ALLOCATED
+        merged, _ = merge_def(DefState.UNDEFINED, DefState.PARTIAL)
+        assert merged is DefState.UNDEFINED
+
+    def test_dead_on_one_path_is_anomaly(self):
+        merged, anomaly = merge_def(DefState.DEAD, DefState.DEFINED)
+        assert merged is DefState.ERROR
+        assert anomaly is not None
+        assert "dead" in anomaly.describe("x")
+
+    def test_error_is_absorbing(self):
+        merged, anomaly = merge_def(DefState.ERROR, DefState.DEFINED)
+        assert merged is DefState.ERROR
+        assert anomaly is None
+
+
+class TestNullMerge:
+    def test_same(self):
+        assert merge_null(NullState.NOTNULL, NullState.NOTNULL) is NullState.NOTNULL
+
+    def test_disagreement_weakens_to_maybenull(self):
+        assert merge_null(NullState.NOTNULL, NullState.ISNULL) is NullState.MAYBENULL
+        assert merge_null(NullState.MAYBENULL, NullState.NOTNULL) is NullState.MAYBENULL
+
+    def test_relnull_absorbs(self):
+        assert merge_null(NullState.RELNULL, NullState.NOTNULL) is NullState.RELNULL
+
+    def test_commutative(self):
+        for a in NullState:
+            for b in NullState:
+                assert merge_null(a, b) is merge_null(b, a)
+
+
+class TestAllocMerge:
+    def test_figure5_kept_vs_only_is_anomaly(self):
+        merged, anomaly = merge_alloc(AllocState.KEPT, AllocState.ONLY)
+        assert merged is AllocState.ERROR
+        assert anomaly is not None
+        assert {anomaly.left, anomaly.right} == {"kept", "only"}
+
+    def test_released_on_one_path_is_anomaly(self):
+        merged, anomaly = merge_alloc(AllocState.DEAD, AllocState.FRESH)
+        assert merged is AllocState.ERROR
+        assert anomaly is not None
+
+    def test_fresh_and_only_compatible(self):
+        merged, anomaly = merge_alloc(AllocState.FRESH, AllocState.ONLY)
+        assert merged is AllocState.ONLY
+        assert anomaly is None
+
+    def test_implicit_defers(self):
+        merged, _ = merge_alloc(AllocState.IMPLICIT, AllocState.FRESH)
+        assert merged is AllocState.FRESH
+
+    def test_commutative(self):
+        for a in AllocState:
+            for b in AllocState:
+                ma, _ = merge_alloc(a, b)
+                mb, _ = merge_alloc(b, a)
+                assert ma is mb
+
+    def test_error_absorbing(self):
+        merged, anomaly = merge_alloc(AllocState.ERROR, AllocState.ONLY)
+        assert merged is AllocState.ERROR
+        assert anomaly is None
+
+
+class TestObligations:
+    def test_holders(self):
+        holders = {s for s in AllocState if s.holds_obligation()}
+        assert holders == {AllocState.FRESH, AllocState.ONLY,
+                           AllocState.OWNED, AllocState.KEEP}
+
+    def test_usability(self):
+        assert not AllocState.DEAD.usable()
+        assert not AllocState.ERROR.usable()
+        assert AllocState.KEPT.usable()
+
+
+class TestInitialStates:
+    def test_null_annotation(self):
+        assert initial_null(parse_spec_words("null"), True) is NullState.MAYBENULL
+        assert initial_null(parse_spec_words("relnull"), True) is NullState.RELNULL
+        assert initial_null(parse_spec_words(""), True) is NullState.NOTNULL
+        assert initial_null(parse_spec_words("null"), False) is NullState.NOTNULL
+
+    def test_def_annotation(self):
+        assert initial_def(parse_spec_words("out")) is DefState.ALLOCATED
+        assert initial_def(parse_spec_words("undef")) is DefState.UNDEFINED
+        assert initial_def(parse_spec_words("partial")) is DefState.PARTIAL
+        assert initial_def(parse_spec_words("")) is DefState.DEFINED
+
+    def test_alloc_annotation(self):
+        assert initial_alloc(parse_spec_words("only")) is AllocState.ONLY
+        assert initial_alloc(parse_spec_words("temp")) is AllocState.TEMP
+        assert initial_alloc(parse_spec_words("")) is AllocState.IMPLICIT
+        assert (
+            initial_alloc(parse_spec_words(""), default=AllocState.TEMP)
+            is AllocState.TEMP
+        )
+
+    def test_from_annotations_malloc_spec(self):
+        st = from_annotations(parse_spec_words("null out only"), is_pointer=True)
+        assert st.null is NullState.MAYBENULL
+        assert st.definition is DefState.ALLOCATED
+        assert st.alloc is AllocState.ONLY
+
+
+class TestRefStateMerge:
+    def test_merged_reports_all_anomalies(self):
+        a = RefState(DefState.DEAD, NullState.NOTNULL, AllocState.DEAD)
+        b = RefState(DefState.DEFINED, NullState.NOTNULL, AllocState.FRESH)
+        merged, anomalies = a.merged(b)
+        assert merged.definition is DefState.ERROR
+        assert merged.alloc is AllocState.ERROR
+        assert len(anomalies) == 2
+
+    def test_merged_clean(self):
+        a = RefState(DefState.DEFINED, NullState.NOTNULL, AllocState.TEMP)
+        b = RefState(DefState.PARTIAL, NullState.ISNULL, AllocState.TEMP)
+        merged, anomalies = a.merged(b)
+        assert anomalies == []
+        assert merged.definition is DefState.PARTIAL
+        assert merged.null is NullState.MAYBENULL
+
+    def test_with_helpers(self):
+        st = RefState()
+        assert st.with_null(NullState.ISNULL).null is NullState.ISNULL
+        assert st.with_definition(DefState.DEAD).definition is DefState.DEAD
+        assert st.with_alloc(AllocState.ONLY).alloc is AllocState.ONLY

@@ -1,0 +1,129 @@
+"""Tests for references, paths, and the alias map."""
+
+from repro.analysis.storage import AliasMap, Ref
+
+
+class TestRefConstruction:
+    def test_describe_base_kinds(self):
+        assert Ref.local("x").describe() == "x"
+        assert Ref.arg(0).describe() == "arg1"
+        assert Ref.global_("g").describe() == "g"
+        assert Ref.ret().describe() == "result"
+
+    def test_describe_paths(self):
+        r = Ref.local("l").arrow("next").arrow("this")
+        assert r.describe() == "l->next->this"
+        assert Ref.local("s").dot("f").describe() == "s.f"
+        assert Ref.local("p").deref().describe() == "*p"
+
+    def test_index_collapses_to_deref(self):
+        # Paper section 2: unknown indexes all denote the same element.
+        assert Ref.local("a").index() == Ref.local("a").deref()
+
+    def test_parent(self):
+        r = Ref.local("l").arrow("next").arrow("this")
+        assert r.parent() == Ref.local("l").arrow("next")
+        assert Ref.local("l").parent() is None
+
+    def test_ancestors_nearest_first(self):
+        r = Ref.local("l").arrow("a").arrow("b")
+        assert list(r.ancestors()) == [
+            Ref.local("l").arrow("a"),
+            Ref.local("l"),
+        ]
+
+    def test_depth(self):
+        assert Ref.local("x").depth == 0
+        assert Ref.local("x").arrow("f").depth == 1
+
+    def test_is_prefix_of(self):
+        base = Ref.local("l")
+        child = base.arrow("next")
+        grandchild = child.arrow("this")
+        assert base.is_prefix_of(child)
+        assert base.is_prefix_of(grandchild)
+        assert not child.is_prefix_of(base)
+        assert not base.is_prefix_of(base)
+        assert not Ref.local("m").is_prefix_of(child)
+
+    def test_replace_prefix(self):
+        l = Ref.local("l")
+        argl = Ref.arg(0)
+        r = l.arrow("next").arrow("this")
+        swapped = r.replace_prefix(l, argl)
+        assert swapped == argl.arrow("next").arrow("this")
+
+    def test_replace_prefix_deeper_target(self):
+        l = Ref.local("l")
+        argl_next = Ref.arg(0).arrow("next")
+        r = l.arrow("next")
+        assert r.replace_prefix(l, argl_next) == argl_next.arrow("next")
+
+    def test_hashable_and_ordered(self):
+        s = {Ref.local("a"), Ref.local("a"), Ref.local("b")}
+        assert len(s) == 2
+        assert sorted([Ref.local("b"), Ref.local("a")])[0] == Ref.local("a")
+
+
+class TestAliasMap:
+    def test_symmetric(self):
+        am = AliasMap()
+        am.add(Ref.local("a"), Ref.local("b"))
+        assert Ref.local("b") in am.aliases_of(Ref.local("a"))
+        assert Ref.local("a") in am.aliases_of(Ref.local("b"))
+
+    def test_self_alias_ignored(self):
+        am = AliasMap()
+        am.add(Ref.local("a"), Ref.local("a"))
+        assert am.aliases_of(Ref.local("a")) == frozenset()
+
+    def test_may_alias(self):
+        am = AliasMap()
+        am.add(Ref.local("a"), Ref.local("b"))
+        assert am.may_alias(Ref.local("a"), Ref.local("b"))
+        assert am.may_alias(Ref.local("a"), Ref.local("a"))
+        assert not am.may_alias(Ref.local("a"), Ref.local("c"))
+
+    def test_clear_removes_both_directions(self):
+        am = AliasMap()
+        am.add(Ref.local("a"), Ref.local("b"))
+        am.clear(Ref.local("a"))
+        assert am.aliases_of(Ref.local("b")) == frozenset()
+        assert am.aliases_of(Ref.local("a")) == frozenset()
+
+    def test_merge_is_union(self):
+        am1 = AliasMap()
+        am1.add(Ref.local("l"), Ref.arg(0))
+        am2 = AliasMap()
+        am2.add(Ref.local("l"), Ref.arg(0).arrow("next"))
+        merged = am1.merged(am2)
+        aliases = merged.aliases_of(Ref.local("l"))
+        # Paper, Figure 6 point 7: l may alias argl or argl->next.
+        assert aliases == frozenset({Ref.arg(0), Ref.arg(0).arrow("next")})
+
+    def test_closure_includes_self(self):
+        am = AliasMap()
+        am.add(Ref.local("a"), Ref.local("b"))
+        assert am.closure(Ref.local("a")) == frozenset(
+            {Ref.local("a"), Ref.local("b")}
+        )
+
+    def test_copy_is_independent(self):
+        am = AliasMap()
+        am.add(Ref.local("a"), Ref.local("b"))
+        clone = am.copy()
+        clone.add(Ref.local("a"), Ref.local("c"))
+        assert Ref.local("c") not in am.aliases_of(Ref.local("a"))
+
+    def test_set_aliases(self):
+        am = AliasMap()
+        am.set_aliases(Ref.local("x"), frozenset({Ref.local("y"), Ref.local("x")}))
+        assert am.aliases_of(Ref.local("x")) == frozenset({Ref.local("y")})
+        assert Ref.local("x") in am.aliases_of(Ref.local("y"))
+
+    def test_equality_ignores_empty_sets(self):
+        am1 = AliasMap()
+        am2 = AliasMap()
+        am1.add(Ref.local("a"), Ref.local("b"))
+        am1.clear(Ref.local("a"))
+        assert am1 == am2

@@ -1,0 +1,134 @@
+"""Tests for the abstract store: materialization and merging."""
+
+from repro.analysis.states import AllocState, DefState, NullState, RefState
+from repro.analysis.storage import Ref
+from repro.analysis.store import Store, merge_all
+
+
+class SimpleEnv:
+    """Minimal StateEnv: bases are defined, children inherit sensibly."""
+
+    def base_default(self, ref):
+        return RefState()
+
+    def derived_default(self, ref, parent):
+        if parent.definition is DefState.ALLOCATED:
+            return RefState(definition=DefState.UNDEFINED)
+        return RefState(definition=parent.definition)
+
+
+def store():
+    return Store(SimpleEnv())
+
+
+class TestMaterialization:
+    def test_base_default(self):
+        s = store()
+        st = s.state(Ref.local("x"))
+        assert st.definition is DefState.DEFINED
+
+    def test_derived_from_defined(self):
+        s = store()
+        st = s.state(Ref.local("x").arrow("f"))
+        assert st.definition is DefState.DEFINED
+
+    def test_derived_from_allocated(self):
+        s = store()
+        s.set_state(Ref.local("p"), RefState(definition=DefState.ALLOCATED))
+        st = s.state(Ref.local("p").arrow("f"))
+        assert st.definition is DefState.UNDEFINED
+
+    def test_peek_does_not_materialize(self):
+        s = store()
+        assert s.peek(Ref.local("x")) is None
+        s.state(Ref.local("x"))
+        assert s.peek(Ref.local("x")) is not None
+
+    def test_update(self):
+        s = store()
+        s.update(Ref.local("x"), lambda st: st.with_null(NullState.ISNULL))
+        assert s.state(Ref.local("x")).null is NullState.ISNULL
+
+    def test_update_with_aliases(self):
+        s = store()
+        s.aliases.add(Ref.local("a"), Ref.local("b"))
+        s.update_with_aliases(Ref.local("a"), lambda st: st.with_null(NullState.ISNULL))
+        assert s.state(Ref.local("b")).null is NullState.ISNULL
+
+    def test_kill_derived(self):
+        s = store()
+        s.set_state(Ref.local("p").arrow("f"), RefState(null=NullState.ISNULL))
+        s.kill_derived(Ref.local("p"))
+        assert s.peek(Ref.local("p").arrow("f")) is None
+
+
+class TestCopy:
+    def test_copy_independent_states(self):
+        s = store()
+        s.set_state(Ref.local("x"), RefState(null=NullState.ISNULL))
+        clone = s.copy()
+        clone.set_state(Ref.local("x"), RefState(null=NullState.NOTNULL))
+        assert s.state(Ref.local("x")).null is NullState.ISNULL
+
+    def test_copy_sites(self):
+        s = store()
+        s.sites[(Ref.local("x"), "null")] = "here"
+        clone = s.copy()
+        assert clone.sites[(Ref.local("x"), "null")] == "here"
+
+
+class TestMerge:
+    def test_clean_merge(self):
+        a, b = store(), store()
+        a.set_state(Ref.local("x"), RefState(null=NullState.NOTNULL))
+        b.set_state(Ref.local("x"), RefState(null=NullState.ISNULL))
+        merged, reports = a.merge(b)
+        assert merged.state(Ref.local("x")).null is NullState.MAYBENULL
+        assert reports == []
+
+    def test_anomalous_merge_reported(self):
+        a, b = store(), store()
+        a.set_state(Ref.local("e"), RefState(alloc=AllocState.KEPT))
+        b.set_state(Ref.local("e"), RefState(alloc=AllocState.ONLY))
+        merged, reports = a.merge(b)
+        assert merged.state(Ref.local("e")).alloc is AllocState.ERROR
+        assert len(reports) == 1
+        assert reports[0].ref == Ref.local("e")
+
+    def test_one_sided_key_materializes_other_side(self):
+        a, b = store(), store()
+        a.set_state(Ref.local("x"), RefState(definition=DefState.PARTIAL))
+        merged, _ = a.merge(b)
+        assert merged.state(Ref.local("x")).definition is DefState.PARTIAL
+
+    def test_unreachable_branch_dropped(self):
+        a, b = store(), store()
+        a.set_state(Ref.local("x"), RefState(alloc=AllocState.DEAD))
+        a.unreachable = True
+        b.set_state(Ref.local("x"), RefState(alloc=AllocState.FRESH))
+        merged, reports = a.merge(b)
+        assert merged.state(Ref.local("x")).alloc is AllocState.FRESH
+        assert reports == []
+
+    def test_both_unreachable(self):
+        a, b = store(), store()
+        a.unreachable = b.unreachable = True
+        merged, _ = a.merge(b)
+        assert merged.unreachable
+
+    def test_alias_union(self):
+        a, b = store(), store()
+        a.aliases.add(Ref.local("l"), Ref.arg(0))
+        b.aliases.add(Ref.local("l"), Ref.arg(0).arrow("next"))
+        merged, _ = a.merge(b)
+        assert merged.aliases.aliases_of(Ref.local("l")) == frozenset(
+            {Ref.arg(0), Ref.arg(0).arrow("next")}
+        )
+
+    def test_merge_all(self):
+        stores = [store() for _ in range(3)]
+        states = [NullState.NOTNULL, NullState.NOTNULL, NullState.ISNULL]
+        for s, n in zip(stores, states):
+            s.set_state(Ref.local("x"), RefState(null=n))
+        merged, _ = merge_all(stores)
+        assert merged.state(Ref.local("x")).null is NullState.MAYBENULL

@@ -1,0 +1,143 @@
+"""Tests for symbol-table construction and the annotated standard library."""
+
+from repro.annotations.kinds import AllocAnn, DefAnn, NullAnn
+from repro.core.api import Checker
+from repro.frontend.symtab import SymbolTable
+
+
+def symtab_of(source: str) -> SymbolTable:
+    parsed = Checker().parse_unit(source, "s.c")
+    st = SymbolTable()
+    st.add_unit(parsed.unit)
+    return st
+
+
+class TestFunctions:
+    def test_prototype_collected(self):
+        st = symtab_of("extern int add(int a, int b);")
+        sig = st.function("add")
+        assert sig is not None
+        assert not sig.has_definition
+        assert [p.name for p in sig.params] == ["a", "b"]
+
+    def test_definition_wins_over_prototype(self):
+        st = symtab_of(
+            "extern int f(int x);\nint f(int x) { return x; }"
+        )
+        assert st.function("f").has_definition
+
+    def test_annotations_merge_from_prototype(self):
+        st = symtab_of(
+            "extern /*@null@*/ char *pick(/*@temp@*/ char *s);\n"
+            "char *pick(char *s) { return s; }"
+        )
+        sig = st.function("pick")
+        assert sig.ret_annotations.null is NullAnn.NULL
+        assert sig.params[0].annotations.alloc is AllocAnn.TEMP
+
+    def test_variadic(self):
+        st = symtab_of("extern int logf2(char *fmt, ...);")
+        assert st.function("logf2").variadic
+
+    def test_globals_clause_on_prototype(self):
+        st = symtab_of("extern int g;\nextern void f(void) /*@globals g@*/;")
+        assert [u.name for u in st.function("f").globals_list] == ["g"]
+
+
+class TestGlobals:
+    def test_global_collected(self):
+        st = symtab_of("extern /*@only@*/ char *gname;")
+        gvar = st.global_var("gname")
+        assert gvar is not None
+        assert gvar.annotations.alloc is AllocAnn.ONLY
+
+    def test_redeclaration_keeps_annotations(self):
+        st = symtab_of(
+            "extern /*@null@*/ char *g;\nchar *g;"
+        )
+        assert st.global_var("g").annotations.null is NullAnn.NULL
+
+    def test_initializer_flag(self):
+        st = symtab_of("int x = 3;")
+        assert st.global_var("x").has_initializer
+
+    def test_typedef_not_a_global(self):
+        st = symtab_of("typedef int myint;")
+        assert st.global_var("myint") is None
+
+
+class TestAnnotatedStdlib:
+    """The prelude's specs drive the checker; verify the paper's exact
+    annotations arrived (section 4)."""
+
+    def stdlib(self) -> SymbolTable:
+        result = Checker().check_sources({"p.c": "int probe;"})
+        assert result.symtab is not None
+        return result.symtab
+
+    def test_malloc_spec(self):
+        sig = self.stdlib().function("malloc")
+        ann = sig.ret_annotations
+        assert ann.null is NullAnn.NULL
+        assert ann.definition is DefAnn.OUT
+        assert ann.alloc is AllocAnn.ONLY
+
+    def test_free_spec(self):
+        sig = self.stdlib().function("free")
+        ann = sig.params[0].annotations
+        assert ann.null is NullAnn.NULL
+        assert ann.definition is DefAnn.OUT
+        assert ann.alloc is AllocAnn.ONLY
+
+    def test_strcpy_spec(self):
+        sig = self.stdlib().function("strcpy")
+        s1 = sig.params[0].annotations
+        assert s1.definition is DefAnn.OUT
+        assert s1.returned
+        assert s1.unique
+
+    def test_fopen_fclose(self):
+        st = self.stdlib()
+        assert st.function("fopen").ret_annotations.null is NullAnn.NULL
+        assert st.function("fopen").ret_annotations.alloc is AllocAnn.ONLY
+        assert st.function("fclose").params[0].annotations.alloc is AllocAnn.ONLY
+
+    def test_getenv_observer(self):
+        sig = self.stdlib().function("getenv")
+        assert sig.ret_annotations.exposure is not None
+
+    def test_printf_variadic(self):
+        assert self.stdlib().function("printf").variadic
+
+    def test_headers_merge_with_prelude(self):
+        # Including <stdlib.h> redeclares malloc; the merge keeps one
+        # signature with the full annotations.
+        result = Checker().check_sources(
+            {"m.c": "#include <stdlib.h>\nint ok(void) { return 1; }\n"}
+        )
+        assert result.messages == []
+        sig = result.symtab.function("malloc")
+        assert sig.ret_annotations.alloc is AllocAnn.ONLY
+
+
+class TestFileLeakChecking:
+    def test_unclosed_file_is_a_leak(self):
+        src = """#include <stdio.h>
+        void f(void) {
+            FILE *fp = fopen("data", "r");
+            if (fp == NULL) { return; }
+            (void) getc(fp);
+        }"""
+        result = Checker().check_sources({"f.c": src})
+        assert any("leak" in m.code.slug for m in result.messages)
+
+    def test_closed_file_is_clean(self):
+        src = """#include <stdio.h>
+        void f(void) {
+            FILE *fp = fopen("data", "r");
+            if (fp == NULL) { return; }
+            (void) getc(fp);
+            (void) fclose(fp);
+        }"""
+        result = Checker().check_sources({"f.c": src})
+        assert result.messages == []
