@@ -15,6 +15,8 @@ function independently against that merged interface.
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass, field
 
 from ..analysis.checker import CheckContext, FunctionChecker
@@ -37,6 +39,18 @@ from ..stdlib.specs import (
 )
 
 _PRELUDE_PARSE_CACHE: tuple | None = None
+_PRELUDE_LOCK = threading.Lock()
+
+
+def _parse_prelude() -> tuple:
+    manager = SourceManager()
+    prelude_pp = Preprocessor(
+        manager, defines=dict(PRELUDE_DEFINES), system_headers=SYSTEM_HEADERS
+    )
+    toks = prelude_pp.preprocess_text(PRELUDE_TEXT, PRELUDE_NAME)
+    parser = Parser(toks, PRELUDE_NAME)
+    unit = parser.parse_translation_unit()
+    return (unit, parser.scope)
 
 
 def _prelude_parsed() -> tuple:
@@ -45,18 +59,24 @@ def _prelude_parsed() -> tuple:
     Returns ``(unit, file_scope)``: the prelude's translation unit (its
     declarations are merged into every symbol table) and the parser file
     scope holding its typedefs/tags, used to pre-seed user-unit parsers.
+
+    Initialization is guarded by a lock so concurrent daemon requests and
+    pool-worker initializers racing on a fresh process each see exactly
+    one parse; the fast path reads the published cache without locking.
     """
     global _PRELUDE_PARSE_CACHE
-    if _PRELUDE_PARSE_CACHE is None:
-        manager = SourceManager()
-        prelude_pp = Preprocessor(
-            manager, defines=dict(PRELUDE_DEFINES), system_headers=SYSTEM_HEADERS
-        )
-        toks = prelude_pp.preprocess_text(PRELUDE_TEXT, PRELUDE_NAME)
-        parser = Parser(toks, PRELUDE_NAME)
-        unit = parser.parse_translation_unit()
-        _PRELUDE_PARSE_CACHE = (unit, parser.scope)
-    return _PRELUDE_PARSE_CACHE
+    cached = _PRELUDE_PARSE_CACHE
+    if cached is None:
+        with _PRELUDE_LOCK:
+            if _PRELUDE_PARSE_CACHE is None:
+                _PRELUDE_PARSE_CACHE = _parse_prelude()
+            cached = _PRELUDE_PARSE_CACHE
+    return cached
+
+
+def ensure_process_initialized() -> None:
+    """Warm per-process caches; safe to call from pool-worker initializers."""
+    _prelude_parsed()
 
 
 @dataclass
@@ -66,6 +86,106 @@ class ParsedUnit:
     problems: list[AnnotationProblem]
     enum_consts: dict[str, int]
     parse_errors: list = field(default_factory=list)
+
+
+@dataclass
+class UnitCheckOutput:
+    """The outcome of checking one translation unit in isolation.
+
+    Messages are already flag-filtered, suppression-filtered (against the
+    unit's own control comments), and sorted. Outputs from several units
+    merge into a program-level result with :func:`merge_unit_outputs`.
+    """
+
+    messages: list[Message]
+    suppressed: int = 0
+
+
+def unit_interface(pu: "ParsedUnit") -> SymbolTable:
+    """Extract the interface slice (signatures + globals) of one unit."""
+    symtab = SymbolTable()
+    symtab.add_unit(pu.unit)
+    return symtab
+
+
+def build_program_symtab(
+    interfaces: list[SymbolTable],
+    base_symtab: SymbolTable | None = None,
+) -> SymbolTable:
+    """Assemble the merged program symbol table the paper's modular
+    checking assumes: prelude first, then loaded libraries, then each
+    unit's interface slice in program order."""
+    symtab = SymbolTable()
+    prelude_unit, _ = _prelude_parsed()
+    symtab.add_unit(prelude_unit)
+    if base_symtab is not None:
+        from ..driver.library import merge_symtabs
+
+        merge_symtabs(symtab, base_symtab)
+    for interface in interfaces:
+        symtab.merge_interface(interface)
+    return symtab
+
+
+def check_parsed_unit(
+    pu: "ParsedUnit",
+    symtab: SymbolTable,
+    flags: Flags,
+    enum_consts: dict[str, int] | None = None,
+) -> UnitCheckOutput:
+    """Check one parsed unit against a merged interface.
+
+    This is a pure function of its inputs (no module-global state beyond
+    the immutable prelude parse), which is what makes per-unit results
+    cacheable and lets pool workers check units independently.
+    """
+    reporter = Reporter(flags=flags)
+    for problem in pu.problems:
+        reporter.report(
+            MessageCode.ANNOTATION_PROBLEM, problem.location,
+            problem.description,
+        )
+    for error in pu.parse_errors:
+        reporter.report(
+            MessageCode.PARSE_ERROR, error.location,
+            f"Parse error: {error.args[0].split(': ', 1)[-1]} "
+            f"(skipped to the next declaration)",
+        )
+    ctx = CheckContext(
+        symtab=symtab, reporter=reporter, flags=flags,
+        enum_consts=dict(enum_consts or {}),
+    )
+    for fdef in pu.unit.functions():
+        FunctionChecker(ctx, fdef).check()
+    table = SuppressionTable.from_controls(pu.controls)
+    reporter.apply_suppressions(table)
+    return UnitCheckOutput(
+        messages=reporter.sorted_messages(),
+        suppressed=reporter.suppressed_count,
+    )
+
+
+def merge_unit_outputs(
+    outputs: list[UnitCheckOutput],
+) -> tuple[list[Message], int]:
+    """Combine per-unit outputs into one sorted, deduplicated message list.
+
+    Units sharing a header may each report the same header-located message
+    (an annotation problem, say); the reporter deduplicates those within a
+    run, so the merge deduplicates across units by the same key.
+    """
+    seen: set[tuple] = set()
+    merged: list[Message] = []
+    suppressed = 0
+    for out in outputs:
+        suppressed += out.suppressed
+        for msg in out.messages:
+            key = (msg.code, msg.location, msg.text)
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.append(msg)
+    return sorted(merged, key=Message.sort_key), suppressed
 
 
 @dataclass
@@ -151,49 +271,22 @@ class Checker:
     # -- checking -------------------------------------------------------------
 
     def check_units(self, parsed: list[ParsedUnit]) -> CheckResult:
-        symtab = SymbolTable()
-        prelude_unit, _ = _prelude_parsed()
-        symtab.add_unit(prelude_unit)
-        if self.base_symtab is not None:
-            from ..driver.library import merge_symtabs
-
-            merge_symtabs(symtab, self.base_symtab)
+        symtab = build_program_symtab(
+            [unit_interface(pu) for pu in parsed], self.base_symtab
+        )
         enum_consts: dict[str, int] = {}
         for pu in parsed:
-            symtab.add_unit(pu.unit)
             enum_consts.update(pu.enum_consts)
 
-        reporter = Reporter(flags=self.flags)
-        for pu in parsed:
-            for problem in pu.problems:
-                reporter.report(
-                    MessageCode.ANNOTATION_PROBLEM, problem.location,
-                    problem.description,
-                )
-            for error in pu.parse_errors:
-                reporter.report(
-                    MessageCode.PARSE_ERROR, error.location,
-                    f"Parse error: {error.args[0].split(': ', 1)[-1]} "
-                    f"(skipped to the next declaration)",
-                )
-
-        ctx = CheckContext(
-            symtab=symtab, reporter=reporter, flags=self.flags,
-            enum_consts=enum_consts,
-        )
-        for pu in parsed:
-            for fdef in pu.unit.functions():
-                FunctionChecker(ctx, fdef).check()
-
-        controls: list[Token] = []
-        for pu in parsed:
-            controls.extend(pu.controls)
-        table = SuppressionTable.from_controls(controls)
-        reporter.apply_suppressions(table)
+        outputs = [
+            check_parsed_unit(pu, symtab, self.flags, enum_consts)
+            for pu in parsed
+        ]
+        messages, suppressed = merge_unit_outputs(outputs)
 
         return CheckResult(
-            messages=reporter.sorted_messages(),
-            suppressed=reporter.suppressed_count,
+            messages=messages,
+            suppressed=suppressed,
             units=[pu.unit for pu in parsed],
             symtab=symtab,
         )

@@ -14,6 +14,16 @@ Usage follows LCLint's conventions::
     -flags                  list all flags with their defaults
     -quiet                  suppress the summary line
 
+Incremental & parallel checking (see docs/internals.md):
+
+    --jobs N                check translation units on N worker processes
+    --cache                 cache per-unit results under .pylclint-cache/
+    --cache-dir DIR         cache per-unit results under DIR
+    --no-cache              disable the result cache
+    --daemon                serve repeated check requests over stdin/stdout
+                            (cache on by default; combine with --jobs,
+                            --cache-dir, --no-cache)
+
 Header files named on the command line are registered for ``#include``
 resolution; every other file is checked as a translation unit. Exit
 status is the number of code warnings (capped at 125), mirroring batch
@@ -33,9 +43,33 @@ from ..frontend.preprocessor import PreprocessError
 
 USAGE = __doc__ or ""
 
+#: Engine statistics of the most recent incremental run (None when the
+#: classic one-shot path ran). The daemon reads this to report per-request
+#: cache traffic without changing run()'s (status, output) contract.
+LAST_RUN_STATS = None
+
 
 class CliError(Exception):
     pass
+
+
+def _read_source_files(paths: list[str]) -> dict[str, str]:
+    """Read the named files, converting IO and encoding failures into
+    clean :class:`CliError`\\ s (a missing or non-UTF-8 input must never
+    surface as a raw traceback)."""
+    files: dict[str, str] = {}
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                files[path] = handle.read()
+        except OSError as exc:
+            raise CliError(f"cannot read {path}: {exc.strerror or exc}") from exc
+        except UnicodeDecodeError as exc:
+            raise CliError(
+                f"cannot read {path}: not a UTF-8 text file ({exc.reason} "
+                f"at byte {exc.start})"
+            ) from exc
+    return files
 
 
 def _print_flags() -> str:
@@ -51,8 +85,15 @@ def _print_flags() -> str:
     return "\n".join(lines)
 
 
-def run(argv: list[str]) -> tuple[int, str]:
-    """Run the driver; returns (exit_status, output_text)."""
+def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]:
+    """Run the driver; returns (exit_status, output_text).
+
+    *cache* and *jobs* let the daemon inject its persistent
+    :class:`~repro.incremental.cache.ResultCache` and worker count; the
+    command line can still override both per request.
+    """
+    global LAST_RUN_STATS
+    LAST_RUN_STATS = None
     paths: list[str] = []
     flag_args: list[str] = []
     dump_path: str | None = None
@@ -61,6 +102,8 @@ def run(argv: list[str]) -> tuple[int, str]:
     trace_function_name: str | None = None
     want_stats = False
     quiet = False
+    cache_dir: str | None = None
+    no_cache = False
 
     i = 0
     while i < len(argv):
@@ -69,6 +112,11 @@ def run(argv: list[str]) -> tuple[int, str]:
             return 0, USAGE
         if arg == "-flags":
             return 0, _print_flags()
+        if arg in ("--daemon", "-daemon"):
+            raise CliError(
+                "--daemon starts a server session; invoke it through the "
+                "pylclint entry point or python -m repro.incremental.server"
+            )
         if arg == "-dump":
             i += 1
             if i >= len(argv):
@@ -89,6 +137,26 @@ def run(argv: list[str]) -> tuple[int, str]:
             if i >= len(argv):
                 raise CliError("-trace requires a function name")
             trace_function_name = argv[i]
+        elif arg in ("--jobs", "-jobs", "-j"):
+            i += 1
+            if i >= len(argv):
+                raise CliError("--jobs requires a worker count")
+            jobs = _parse_jobs(argv[i])
+        elif arg.startswith("--jobs="):
+            jobs = _parse_jobs(arg.split("=", 1)[1])
+        elif arg in ("--cache-dir", "-cache-dir"):
+            i += 1
+            if i >= len(argv):
+                raise CliError("--cache-dir requires a directory")
+            cache_dir = argv[i]
+        elif arg.startswith("--cache-dir="):
+            cache_dir = arg.split("=", 1)[1]
+        elif arg in ("--cache", "-cache"):
+            from ..incremental.cache import DEFAULT_CACHE_DIR
+
+            cache_dir = DEFAULT_CACHE_DIR
+        elif arg in ("--no-cache", "-no-cache"):
+            no_cache = True
         elif arg == "-stats":
             want_stats = True
         elif arg == "-quiet":
@@ -107,17 +175,47 @@ def run(argv: list[str]) -> tuple[int, str]:
     except UnknownFlag as exc:
         raise CliError(str(exc)) from exc
 
-    checker = Checker(flags=flags)
-    for lib in load_paths:
-        checker.load_library(lib)
+    jobs = jobs or 1
+    if no_cache:
+        cache = None
+    elif cache_dir is not None:
+        from ..incremental.cache import ResultCache
+
+        cache = ResultCache(cache_dir)
+
+    files = _read_source_files(paths)
+    out: list[str] = []
+    stats = None
+
     try:
-        result = checker.check_files(paths)
+        if cache is not None or jobs > 1:
+            from ..incremental.engine import IncrementalChecker
+
+            checker = IncrementalChecker(
+                flags=flags,
+                cache=cache,
+                jobs=jobs,
+                keep_units=(
+                    dot_function is not None or trace_function_name is not None
+                ),
+            )
+            for lib in load_paths:
+                checker.load_library(lib)
+            result = checker.check_sources(files)
+            stats = checker.stats
+            LAST_RUN_STATS = stats
+            for note in stats.notes:
+                out.append(f"pylclint: warning: {note}")
+        else:
+            checker = Checker(flags=flags)
+            for lib in load_paths:
+                checker.load_library(lib)
+            result = checker.check_sources(files)
     except (LexError, ParseError, PreprocessError) as exc:
         raise CliError(f"cannot check input: {exc}") from exc
     except OSError as exc:
         raise CliError(str(exc)) from exc
 
-    out: list[str] = []
     for message in result.messages:
         out.append(message.render())
 
@@ -129,16 +227,31 @@ def run(argv: list[str]) -> tuple[int, str]:
 
     if want_stats:
         out.append(_stats_for(result))
+        if stats is not None:
+            out.append(stats.render())
 
     if not quiet:
         out.append(f"{len(result.messages)} code warning(s)")
 
     if dump_path is not None:
-        checker.save_library(result, dump_path)
+        from .library import save_library
+
+        assert result.symtab is not None
+        save_library(result.symtab, dump_path)
         if not quiet:
             out.append(f"interface library written to {dump_path}")
 
     return min(len(result.messages), 125), "\n".join(out)
+
+
+def _parse_jobs(value: str) -> int:
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise CliError(f"--jobs expects an integer, got {value!r}") from None
+    if jobs < 1:
+        raise CliError("--jobs expects a count >= 1")
+    return jobs
 
 
 def _trace_for(checker: Checker, result: CheckResult, name: str) -> str:
@@ -184,6 +297,12 @@ def _stats_for(result: CheckResult) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    if "--daemon" in args or "-daemon" in args:
+        from ..incremental.server import run_daemon
+
+        return run_daemon(
+            [a for a in args if a not in ("--daemon", "-daemon")]
+        )
     try:
         status, output = run(args)
     except CliError as exc:

@@ -145,6 +145,43 @@ class SymbolTable:
             return
         self.globals[dtor.name] = gvar
 
+    # -- merging --------------------------------------------------------------
+
+    def merge_interface(self, other: "SymbolTable") -> None:
+        """Merge another table's interface slice into this one.
+
+        Replicates the precedence of adding the underlying declarations
+        sequentially with :meth:`add_unit`: a later declaration's
+        annotations win over an earlier declaration's, a definition's
+        interface wins over any declaration, and declarations seen after
+        a definition are ignored. This is what lets the incremental
+        engine rebuild the program symbol table from cached per-unit
+        interface slices without reparsing every unit.
+        """
+        for name, sig in other.functions.items():
+            existing = self.functions.get(name)
+            if existing is None:
+                merged = sig
+            elif existing.has_definition and not sig.has_definition:
+                continue
+            elif sig.has_definition and not existing.has_definition:
+                merged = _merge_signatures(sig, existing, prefer_first=True)
+            elif sig.has_definition and existing.has_definition:
+                merged = sig
+            else:
+                merged = _merge_signatures(existing, sig)
+            self.functions[name] = merged
+        for name, gvar in other.globals.items():
+            existing = self.globals.get(name)
+            if existing is None:
+                self.globals[name] = gvar
+                continue
+            if existing.annotations.is_empty() and not gvar.annotations.is_empty():
+                existing.annotations = gvar.annotations
+            existing.has_initializer = (
+                existing.has_initializer or gvar.has_initializer
+            )
+
     # -- queries --------------------------------------------------------------
 
     def function(self, name: str) -> FunctionSignature | None:

@@ -1,0 +1,32 @@
+"""Incremental, parallel checking with a persistent analysis cache.
+
+The paper's performance story — checking "fast enough to run as part of
+every build" — rests on modular, per-unit analysis. This package turns
+that modularity into an engine:
+
+* :mod:`repro.incremental.fingerprint` — content fingerprints over the
+  preprocessed token stream, flags, prelude version, and program
+  interface;
+* :mod:`repro.incremental.cache` — the corruption-tolerant on-disk
+  result cache (``.pylclint-cache/``);
+* :mod:`repro.incremental.engine` — the :class:`IncrementalChecker`
+  orchestrating memo lookups, cache hits, and (re)checking;
+* :mod:`repro.incremental.parallel` — fan-out of per-unit checks over a
+  process pool;
+* :mod:`repro.incremental.server` — the ``pylclint --daemon`` batch
+  driver answering repeated requests from one warm process.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .engine import CheckStats, IncrementalChecker
+from .fingerprint import ENGINE_VERSION
+from .server import DaemonServer
+
+__all__ = [
+    "CheckStats",
+    "DaemonServer",
+    "DEFAULT_CACHE_DIR",
+    "ENGINE_VERSION",
+    "IncrementalChecker",
+    "ResultCache",
+]

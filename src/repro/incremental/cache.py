@@ -1,0 +1,202 @@
+"""The persistent analysis cache (default directory: ``.pylclint-cache/``).
+
+Layout::
+
+    <root>/meta.json            cache-format + engine version stamp
+    <root>/units/<key>.pkl      per-unit memo: token digest, interface
+                                digest + pickled interface slice, include
+                                closure, enum constants
+    <root>/results/<fp>.json    per-unit check result: serialized messages
+                                and the suppressed-message count
+
+Every load path is corruption-tolerant: a truncated, garbled, or
+version-mismatched file is treated as a miss and discarded, never an
+error — a bad cache can cost time, but it must not change results or
+crash the checker. Writes go through a temp file + ``os.replace`` so a
+killed process cannot leave a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+
+from ..messages.message import Message
+from .fingerprint import ENGINE_VERSION
+
+DEFAULT_CACHE_DIR = ".pylclint-cache"
+
+#: Format version of the on-disk layout itself (distinct from the engine
+#: version, which participates in fingerprints).
+CACHE_FORMAT_VERSION = 1
+
+_HEX = set("0123456789abcdef")
+
+
+@dataclass
+class UnitMemo:
+    """What we remember about a translation unit between runs."""
+
+    token_digest: str
+    iface_digest: str
+    iface_pickle: bytes  # pickled (SymbolTable slice, enum_consts)
+    includes: list[tuple[str, str]]  # (resolved name, text sha) closure
+    enum_consts: dict[str, int] = field(default_factory=dict)
+
+
+class ResultCache:
+    """On-disk cache of per-unit memos and check results."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.notes: list[str] = []
+        self._ensure_layout()
+
+    # -- layout / versioning ------------------------------------------------
+
+    def _meta_path(self) -> str:
+        return os.path.join(self.root, "meta.json")
+
+    def _ensure_layout(self) -> None:
+        meta = {"format": CACHE_FORMAT_VERSION, "engine": ENGINE_VERSION}
+        current = self._read_json(self._meta_path())
+        if current != meta:
+            if current is not None or os.path.exists(self._meta_path()):
+                self.notes.append(
+                    f"cache at {self.root} has a different version; rebuilding"
+                )
+            self._wipe()
+        os.makedirs(os.path.join(self.root, "units"), exist_ok=True)
+        os.makedirs(os.path.join(self.root, "results"), exist_ok=True)
+        if current != meta:
+            self._write_bytes(
+                self._meta_path(), json.dumps(meta).encode("utf-8")
+            )
+
+    def _wipe(self) -> None:
+        if os.path.isdir(self.root):
+            for entry in os.listdir(self.root):
+                path = os.path.join(self.root, entry)
+                try:
+                    if os.path.isdir(path):
+                        shutil.rmtree(path)
+                    else:
+                        os.unlink(path)
+                except OSError:
+                    pass
+        else:
+            try:
+                os.makedirs(self.root, exist_ok=True)
+            except OSError:
+                pass
+
+    # -- low-level tolerant IO ---------------------------------------------
+
+    def _read_json(self, path: str):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except OSError:
+            return None
+        except ValueError:
+            # The file exists but is not JSON: drop it so the slot is
+            # rewritten instead of failing to parse on every run.
+            self._discard(path)
+            return None
+
+    def _read_pickle(self, path: str):
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # Any unpickling failure (truncation, garbage, missing class)
+            # is a miss; drop the bad entry so it is rewritten.
+            self._discard(path)
+            return None
+
+    def _discard(self, path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def _write_bytes(self, path: str, data: bytes) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix="~"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except OSError:
+            self._discard(tmp)
+
+    def _entry_path(self, kind: str, key: str, suffix: str) -> str:
+        if not key or any(ch not in _HEX for ch in key):
+            raise ValueError(f"cache key is not a hex digest: {key!r}")
+        return os.path.join(self.root, kind, key + suffix)
+
+    # -- unit memos ----------------------------------------------------------
+
+    def get_unit_memo(self, key: str) -> UnitMemo | None:
+        payload = self._read_pickle(self._entry_path("units", key, ".pkl"))
+        if not isinstance(payload, dict):
+            return None
+        try:
+            return UnitMemo(
+                token_digest=payload["token_digest"],
+                iface_digest=payload["iface_digest"],
+                iface_pickle=payload["iface_pickle"],
+                includes=[(str(n), str(s)) for n, s in payload["includes"]],
+                enum_consts=dict(payload["enum_consts"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            self._discard(self._entry_path("units", key, ".pkl"))
+            return None
+
+    def put_unit_memo(self, key: str, memo: UnitMemo) -> None:
+        payload = {
+            "token_digest": memo.token_digest,
+            "iface_digest": memo.iface_digest,
+            "iface_pickle": memo.iface_pickle,
+            "includes": list(memo.includes),
+            "enum_consts": dict(memo.enum_consts),
+        }
+        self._write_bytes(
+            self._entry_path("units", key, ".pkl"), pickle.dumps(payload)
+        )
+
+    # -- check results -------------------------------------------------------
+
+    def get_result(self, fingerprint: str):
+        """Return ``(messages, suppressed)`` or ``None`` on a miss."""
+        path = self._entry_path("results", fingerprint, ".json")
+        payload = self._read_json(path)
+        if not isinstance(payload, dict):
+            if payload is not None:
+                self._discard(path)
+            return None
+        try:
+            messages = [Message.from_dict(m) for m in payload["messages"]]
+            suppressed = int(payload["suppressed"])
+        except (KeyError, TypeError, ValueError):
+            self._discard(path)
+            return None
+        return messages, suppressed
+
+    def put_result(
+        self, fingerprint: str, messages: list[Message], suppressed: int
+    ) -> None:
+        payload = {
+            "messages": [m.to_dict() for m in messages],
+            "suppressed": suppressed,
+        }
+        self._write_bytes(
+            self._entry_path("results", fingerprint, ".json"),
+            json.dumps(payload).encode("utf-8"),
+        )

@@ -1,0 +1,373 @@
+"""The incremental, parallel checking engine.
+
+One-shot checking (:class:`repro.core.api.Checker`) re-preprocesses,
+re-parses, and re-checks every translation unit on every invocation.
+This engine makes re-checking cheap, the property the paper leans on
+("fast enough to run as part of every build"):
+
+* **warm units skip everything** — a unit whose raw text, includes,
+  flags, and program interface are unchanged is answered straight from
+  the result cache without preprocessing, parsing, or checking;
+* **interface-sensitive invalidation** — editing a function body
+  re-checks only that unit; editing an exported interface (a header, an
+  annotation on a signature) changes the program digest and re-checks
+  every unit, exactly the modular contract of paper section 7;
+* **parallel misses** — units that do need checking fan out over a
+  process pool (``jobs > 1``), with results identical to serial order.
+
+The engine produces the same :class:`CheckResult` as ``Checker`` — the
+integration suite asserts message-for-message equality.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+
+from ..core.api import (
+    CheckResult,
+    ParsedUnit,
+    UnitCheckOutput,
+    build_program_symtab,
+    check_parsed_unit,
+    merge_unit_outputs,
+    unit_interface,
+)
+from ..flags.registry import DEFAULT_FLAGS, Flags
+from ..frontend.parser import Parser
+from ..frontend.preprocessor import Preprocessor
+from ..frontend.source import SourceManager
+from ..frontend.symtab import SymbolTable
+from ..frontend.tokens import Token
+from ..stdlib.specs import PRELUDE_DEFINES, SYSTEM_HEADERS
+from .cache import ResultCache, UnitMemo
+from .fingerprint import (
+    check_fingerprint,
+    interface_digest,
+    program_digest,
+    source_key,
+    text_digest,
+    token_stream_digest,
+)
+from .parallel import check_units_parallel
+
+
+@dataclass
+class CheckStats:
+    """Per-phase timing and cache-traffic counters for one run."""
+
+    units: int = 0
+    preprocess_s: float = 0.0
+    parse_s: float = 0.0
+    check_s: float = 0.0
+    total_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    jobs: int = 1
+    parallel_used: bool = False
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = ["incremental statistics:"]
+        lines.append(f"  preprocess:        {self.preprocess_s * 1000:.1f} ms")
+        lines.append(f"  parse:             {self.parse_s * 1000:.1f} ms")
+        lines.append(f"  check:             {self.check_s * 1000:.1f} ms")
+        lines.append(f"  total:             {self.total_s * 1000:.1f} ms")
+        lines.append(
+            f"  result cache:      {self.cache_hits} hit(s), "
+            f"{self.cache_misses} miss(es)"
+        )
+        lines.append(
+            f"  unit memo:         {self.memo_hits} hit(s), "
+            f"{self.memo_misses} miss(es)"
+        )
+        mode = "parallel" if self.parallel_used else "serial"
+        lines.append(f"  schedule:          {mode} (jobs={self.jobs})")
+        return "\n".join(lines)
+
+
+@dataclass
+class _UnitPlan:
+    """Work-in-progress bookkeeping for one translation unit."""
+
+    name: str
+    text: str
+    parsed: ParsedUnit | None = None
+    interface: SymbolTable | None = None
+    token_digest: str = ""
+    iface_digest: str = ""
+    enum_consts: dict[str, int] = field(default_factory=dict)
+    fingerprint: str = ""
+    cached: tuple | None = None  # (messages, suppressed) on a result hit
+    output: UnitCheckOutput | None = None
+
+
+class IncrementalChecker:
+    """Checks programs with a persistent cache and an optional pool.
+
+    Drop-in counterpart of :class:`repro.core.api.Checker` for whole
+    programs: ``check_sources`` / ``check_files`` return the same
+    :class:`CheckResult`, plus a :attr:`stats` record for the last run.
+    """
+
+    def __init__(
+        self,
+        flags: Flags | None = None,
+        cache: ResultCache | None = None,
+        jobs: int = 1,
+        defines: dict[str, str] | None = None,
+        keep_units: bool = False,
+    ) -> None:
+        self.flags = flags or DEFAULT_FLAGS
+        self.cache = cache
+        self.jobs = max(1, int(jobs))
+        self.defines = dict(PRELUDE_DEFINES)
+        self.defines.update(defines or {})
+        self.keep_units = keep_units
+        self.base_symtab: SymbolTable | None = None
+        self._library_digests: list[str] = []
+        self.stats = CheckStats()
+
+    # -- interface libraries -------------------------------------------------
+
+    def load_library(self, path: str) -> None:
+        from ..driver.library import load_library, merge_symtabs
+
+        loaded = load_library(path)
+        if self.base_symtab is None:
+            self.base_symtab = SymbolTable()
+        merge_symtabs(self.base_symtab, loaded)
+        with open(path, "rb") as handle:
+            self._library_digests.append(text_digest(repr(handle.read())))
+
+    # -- entry points --------------------------------------------------------
+
+    def check_files(self, paths: list[str]) -> CheckResult:
+        files: dict[str, str] = {}
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                files[path] = handle.read()
+        return self.check_sources(files)
+
+    def check_sources(self, files: dict[str, str]) -> CheckResult:
+        t_start = time.perf_counter()
+        stats = CheckStats(jobs=self.jobs)
+        if self.cache is not None:
+            stats.notes.extend(self.cache.notes)
+            del self.cache.notes[:]
+        self.stats = stats
+
+        sources = SourceManager()
+        for name, text in files.items():
+            if name.endswith(".h"):
+                sources.add(name, text)
+        unit_names = [n for n in files if not n.endswith(".h")]
+        plans = [_UnitPlan(name=n, text=files[n]) for n in unit_names]
+        stats.units = len(plans)
+
+        # Phase 1: identify every unit (memo fast path or preprocess+parse).
+        for plan in plans:
+            self._identify_unit(plan, files, sources, stats)
+
+        # Phase 2: the program-interface digest over all units + libraries.
+        prog_digest = program_digest(
+            [p.iface_digest for p in plans], self._library_digests
+        )
+        enum_consts: dict[str, int] = {}
+        for plan in plans:
+            enum_consts.update(plan.enum_consts)
+
+        # Phase 3: result-cache lookups.
+        misses: list[_UnitPlan] = []
+        for plan in plans:
+            if self.cache is not None:
+                plan.fingerprint = check_fingerprint(
+                    plan.token_digest, self.flags, prog_digest
+                )
+                plan.cached = self.cache.get_result(plan.fingerprint)
+            if plan.cached is not None:
+                stats.cache_hits += 1
+                plan.output = UnitCheckOutput(
+                    messages=plan.cached[0], suppressed=plan.cached[1]
+                )
+            else:
+                stats.cache_misses += 1
+                misses.append(plan)
+
+        # Phase 4: build the merged symbol table from interface slices.
+        symtab = build_program_symtab(
+            [self._interface_of(p) for p in plans], self.base_symtab
+        )
+
+        # Phase 5: check the misses (parallel when asked and possible).
+        if misses:
+            for plan in misses:
+                self._ensure_parsed(plan, files, sources, stats)
+            t_check = time.perf_counter()
+            outputs = check_units_parallel(
+                [p.parsed for p in misses], symtab, self.flags,
+                enum_consts, self.jobs,
+            )
+            if outputs is None:
+                outputs = [
+                    check_parsed_unit(p.parsed, symtab, self.flags, enum_consts)
+                    for p in misses
+                ]
+            else:
+                stats.parallel_used = True
+            stats.check_s += time.perf_counter() - t_check
+            for plan, output in zip(misses, outputs):
+                plan.output = output
+                if self.cache is not None:
+                    self.cache.put_result(
+                        plan.fingerprint, output.messages, output.suppressed
+                    )
+
+        messages, suppressed = merge_unit_outputs([p.output for p in plans])
+        stats.total_s = time.perf_counter() - t_start
+        return CheckResult(
+            messages=messages,
+            suppressed=suppressed,
+            units=[p.parsed.unit for p in plans if p.parsed is not None],
+            symtab=symtab,
+        )
+
+    # -- unit identification -------------------------------------------------
+
+    def _identify_unit(
+        self,
+        plan: _UnitPlan,
+        files: dict[str, str],
+        sources: SourceManager,
+        stats: CheckStats,
+    ) -> None:
+        """Fill the plan's digests, from the memo when possible."""
+        key = source_key(plan.name, plan.text, self.defines)
+        if self.cache is not None and not self.keep_units:
+            memo = self.cache.get_unit_memo(key)
+            if memo is not None and self._includes_unchanged(
+                memo.includes, files
+            ):
+                stats.memo_hits += 1
+                plan.token_digest = memo.token_digest
+                plan.iface_digest = memo.iface_digest
+                plan.enum_consts = dict(memo.enum_consts)
+                plan.interface = None  # unpickled lazily in _interface_of
+                plan._memo = memo  # type: ignore[attr-defined]
+                return
+        stats.memo_misses += 1
+        self._parse_plan(plan, sources, stats, memo_key=key)
+
+    def _parse_plan(
+        self,
+        plan: _UnitPlan,
+        sources: SourceManager,
+        stats: CheckStats,
+        memo_key: str | None = None,
+    ) -> None:
+        tokens, included = self._preprocess(plan.name, plan.text, sources, stats)
+        plan.token_digest = token_stream_digest(tokens)
+        t0 = time.perf_counter()
+        plan.parsed = self._parse_tokens(tokens, plan.name)
+        stats.parse_s += time.perf_counter() - t0
+        plan.enum_consts = dict(plan.parsed.enum_consts)
+        plan.interface = unit_interface(plan.parsed)
+        iface_pickle = pickle.dumps((plan.interface, plan.enum_consts))
+        plan.iface_digest = interface_digest(plan.interface, plan.enum_consts)
+        if self.cache is not None and memo_key is not None:
+            closure = []
+            for name in sorted(included):
+                source = sources.get(name)
+                if source is not None:
+                    closure.append((name, text_digest(source.text)))
+            self.cache.put_unit_memo(
+                memo_key,
+                UnitMemo(
+                    token_digest=plan.token_digest,
+                    iface_digest=plan.iface_digest,
+                    iface_pickle=iface_pickle,
+                    includes=closure,
+                    enum_consts=plan.enum_consts,
+                ),
+            )
+
+    def _preprocess(
+        self,
+        name: str,
+        text: str,
+        sources: SourceManager,
+        stats: CheckStats,
+    ) -> tuple[list[Token], set[str]]:
+        t0 = time.perf_counter()
+        pp = Preprocessor(
+            sources, defines=dict(self.defines), system_headers=SYSTEM_HEADERS
+        )
+        tokens = pp.preprocess_text(text, name)
+        stats.preprocess_s += time.perf_counter() - t0
+        return tokens, set(pp._included)
+
+    def _parse_tokens(self, tokens: list[Token], name: str) -> ParsedUnit:
+        from ..core.api import _prelude_parsed
+
+        _, prelude_scope = _prelude_parsed()
+        parser = Parser(
+            tokens, name, lcl_mode=name.endswith(".lcl"), preseed=prelude_scope
+        )
+        unit = parser.parse_translation_unit()
+        return ParsedUnit(
+            unit=unit,
+            controls=parser.controls,
+            problems=parser.problems,
+            enum_consts=dict(parser.scope.enum_consts),
+            parse_errors=list(parser.parse_errors),
+        )
+
+    def _ensure_parsed(
+        self,
+        plan: _UnitPlan,
+        files: dict[str, str],
+        sources: SourceManager,
+        stats: CheckStats,
+    ) -> None:
+        """Parse a memo-hit unit whose check result turned out to be stale
+        (e.g. the flags changed): the memo saved preprocessing knowledge,
+        but checking needs the AST."""
+        if plan.parsed is None:
+            self._parse_plan(plan, sources, stats, memo_key=None)
+
+    def _interface_of(self, plan: _UnitPlan) -> SymbolTable:
+        if plan.interface is not None:
+            return plan.interface
+        memo: UnitMemo = plan._memo  # type: ignore[attr-defined]
+        interface, enum_consts = pickle.loads(memo.iface_pickle)
+        plan.interface = interface
+        plan.enum_consts = dict(enum_consts)
+        return interface
+
+    def _includes_unchanged(
+        self, closure: list[tuple[str, str]], files: dict[str, str]
+    ) -> bool:
+        for name, recorded_sha in closure:
+            current = self._current_include_text(name, files)
+            if current is None or text_digest(current) != recorded_sha:
+                return False
+        return True
+
+    def _current_include_text(
+        self, name: str, files: dict[str, str]
+    ) -> str | None:
+        if name in files:
+            return files[name]
+        if name.startswith("<") and name.endswith(">"):
+            return SYSTEM_HEADERS.get(name[1:-1])
+        if os.path.isfile(name):
+            try:
+                with open(name, "r", encoding="utf-8", errors="replace") as f:
+                    return f.read()
+            except OSError:
+                return None
+        return None

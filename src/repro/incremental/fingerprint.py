@@ -1,0 +1,185 @@
+"""Fingerprints for incremental checking.
+
+The unit of caching is one translation unit checked against one program
+interface. Its fingerprint combines everything the per-unit check result
+can depend on (the paper's modular-checking contract: a function body is
+checked only against interface information):
+
+* the unit's **preprocessed token stream** (kind, spelling, and location
+  of every token — locations matter because messages carry them),
+* the active :class:`~repro.flags.registry.Flags` configuration,
+* the **stdlib prelude** version (its text, defines, and system headers),
+* the merged **program interface digest** — per-unit interface slices
+  plus any loaded interface libraries,
+* the engine version, bumped whenever checker semantics change.
+
+Two helper layers make warm runs cheap: a *source key* over the raw
+unit text and command-line defines memoizes the token digest so an
+unchanged unit is never re-preprocessed, and per-unit interface digests
+let the program digest be recomputed without reparsing unchanged units.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+
+from ..flags.registry import FLAG_REGISTRY, Flags
+from ..frontend.tokens import Token
+from ..stdlib.specs import PRELUDE_DEFINES, PRELUDE_TEXT, SYSTEM_HEADERS
+
+#: Bump when checker or serialization semantics change: every cached
+#: result becomes unreachable and the cache rebuilds itself.
+ENGINE_VERSION = 1
+
+
+def _sha(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8", "surrogatepass"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def text_digest(text: str) -> str:
+    return _sha(text)
+
+
+def flags_digest(flags: Flags) -> str:
+    """Digest of the *effective* flag configuration.
+
+    Uses resolved values for every registered flag so that, e.g.,
+    ``Flags()`` and ``Flags({"null": True})`` fingerprint identically.
+    """
+    parts = [f"{name}={int(flags.enabled(name))}" for name in sorted(FLAG_REGISTRY)]
+    return _sha("flags", *parts)
+
+
+def defines_digest(defines: dict[str, str]) -> str:
+    parts = [f"{name}={value}" for name, value in sorted(defines.items())]
+    return _sha("defines", *parts)
+
+
+def prelude_digest() -> str:
+    """Version digest of the annotated standard library the checker assumes."""
+    headers = [f"{name}:{text}" for name, text in sorted(SYSTEM_HEADERS.items())]
+    return _sha(
+        f"engine-v{ENGINE_VERSION}",
+        PRELUDE_TEXT,
+        defines_digest(dict(PRELUDE_DEFINES)),
+        *headers,
+    )
+
+
+def token_stream_digest(tokens: list[Token]) -> str:
+    """Digest of a preprocessed token stream, locations included.
+
+    Locations are part of the fingerprint on purpose: two token streams
+    that differ only in line numbers produce messages that render
+    differently, so they must not share a cache entry.
+    """
+    digest = hashlib.sha256()
+    for tok in tokens:
+        loc = tok.location
+        digest.update(
+            f"{tok.kind.name}\x00{tok.value}\x00"
+            f"{loc.filename}\x00{loc.line}\x00{loc.column}\x01".encode(
+                "utf-8", "surrogatepass"
+            )
+        )
+    return digest.hexdigest()
+
+
+def source_key(name: str, text: str, defines: dict[str, str]) -> str:
+    """Fast-path key over the *raw* unit text (ccache-style direct mode).
+
+    Maps to a memo holding the token digest, interface digest, and the
+    include closure observed the last time the unit was preprocessed; the
+    memo is valid only while every recorded include's text is unchanged.
+    """
+    return _sha("unit", name, text, defines_digest(defines))
+
+
+def program_digest(
+    interface_digests: list[str], library_digests: list[str]
+) -> str:
+    """Digest of the merged interface a unit is checked against."""
+    return _sha(
+        "program",
+        prelude_digest(),
+        *interface_digests,
+        "libraries",
+        *library_digests,
+    )
+
+
+def check_fingerprint(
+    token_digest: str, flags: Flags, prog_digest: str
+) -> str:
+    """The cache key for one unit's check result."""
+    return _sha("check", token_digest, flags_digest(flags), prog_digest)
+
+
+# -- interface digests --------------------------------------------------------
+#
+# The interface slice of a unit (FunctionSignature / GlobalVariable values)
+# contains dataclasses, enums, frozensets, and *cyclic* struct types
+# (``struct _elem { struct _elem *next; }``), so the digest walks the object
+# graph into a canonical form: fields in declaration order, sets sorted,
+# cycles cut at their first revisit. Pickle bytes are NOT a usable digest —
+# frozenset iteration order varies with string-hash randomization across
+# processes, which would make every run look cold.
+
+
+def _stable(obj, on_stack: set[int]) -> object:
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return ("enum", type(obj).__name__, obj.name)
+    oid = id(obj)
+    if oid in on_stack:
+        return ("cycle", type(obj).__name__, getattr(obj, "tag", None))
+    on_stack.add(oid)
+    try:
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            return (
+                type(obj).__name__,
+                tuple(
+                    (f.name, _stable(getattr(obj, f.name), on_stack))
+                    for f in dataclasses.fields(obj)
+                ),
+            )
+        if isinstance(obj, dict):
+            items = [
+                (_stable(k, on_stack), _stable(v, on_stack))
+                for k, v in obj.items()
+            ]
+            return ("dict", tuple(sorted(items, key=repr)))
+        if isinstance(obj, (set, frozenset)):
+            return ("set", tuple(sorted(repr(_stable(v, on_stack)) for v in obj)))
+        if isinstance(obj, (list, tuple)):
+            return ("seq", tuple(_stable(v, on_stack) for v in obj))
+        # Non-dataclass helper objects (e.g. plain classes with __dict__).
+        state = getattr(obj, "__dict__", None)
+        if state is not None:
+            return (type(obj).__name__, _stable(state, on_stack))
+        return ("repr", repr(obj))
+    finally:
+        on_stack.discard(oid)
+
+
+def stable_digest(obj) -> str:
+    """Content digest of an arbitrary (possibly cyclic) object graph."""
+    return _sha(repr(_stable(obj, set())))
+
+
+def interface_digest(symtab, enum_consts: dict[str, int]) -> str:
+    """Digest of one unit's exported interface slice."""
+    return stable_digest(
+        {
+            "functions": symtab.functions,
+            "globals": symtab.globals,
+            "enum_consts": enum_consts,
+        }
+    )

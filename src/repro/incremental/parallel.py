@@ -1,0 +1,77 @@
+"""Fan per-unit checks out over a process pool.
+
+Checking is embarrassingly parallel once parsing is done: each unit is a
+pure function of (its AST, the merged program symbol table, the flags) —
+see :func:`repro.core.api.check_parsed_unit`. The pool broadcasts the
+shared inputs once per worker through the executor initializer; tasks
+then carry only a unit index.
+
+Workers are created with the ``fork`` start method so the parsed prelude
+is inherited for free; on platforms without fork (or on any pool
+failure, e.g. an unpicklable AST node) the caller falls back to serial
+checking, which is always correct.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+from ..core.api import (
+    ParsedUnit,
+    UnitCheckOutput,
+    check_parsed_unit,
+    ensure_process_initialized,
+)
+
+_WORKER_STATE: tuple | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Runs once in each worker: warm the prelude, unpack shared state."""
+    global _WORKER_STATE
+    ensure_process_initialized()
+    units, symtab, flags, enum_consts = pickle.loads(payload)
+    _WORKER_STATE = (units, symtab, flags, enum_consts)
+
+
+def _check_unit_task(index: int) -> UnitCheckOutput:
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    units, symtab, flags, enum_consts = _WORKER_STATE
+    return check_parsed_unit(units[index], symtab, flags, enum_consts)
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def check_units_parallel(
+    units: list[ParsedUnit],
+    symtab,
+    flags,
+    enum_consts: dict[str, int],
+    jobs: int,
+) -> list[UnitCheckOutput] | None:
+    """Check *units* on a pool of *jobs* workers, preserving unit order.
+
+    Returns ``None`` when parallel execution is unavailable or fails, so
+    the caller can fall back to serial checking.
+    """
+    if jobs <= 1 or len(units) <= 1 or not fork_available():
+        return None
+    try:
+        payload = pickle.dumps((units, symtab, flags, enum_consts))
+    except Exception:
+        return None
+    workers = min(jobs, len(units))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("fork"),
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            return list(pool.map(_check_unit_task, range(len(units))))
+    except Exception:
+        return None

@@ -1,0 +1,192 @@
+"""Batch/daemon driver: ``pylclint --daemon`` / ``python -m repro.incremental.server``.
+
+Build systems that invoke the checker once per edit pay Python startup
+plus a prelude parse on every call. The daemon keeps those warm in one
+long-lived process and answers repeated check requests over a simple
+line protocol on stdin/stdout:
+
+* request — one line, either a JSON array of CLI arguments
+  (``["-quiet", "src/a.c"]``) or a plain shell-style command line
+  (``-quiet src/a.c``);
+* response — one JSON object per line:
+  ``{"id": n, "status": <exit status>, "output": "...", "stats": {...}}``
+  (an ``"error"`` key replaces ``"output"`` for malformed requests);
+* ``shutdown`` (or EOF) ends the session with a summary line.
+
+Every request runs with the persistent result cache enabled, so a
+rebuild that re-checks an unchanged file is answered from cache without
+preprocessing, parsing, or checking.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+import sys
+from dataclasses import dataclass, field
+
+from ..core.api import ensure_process_initialized
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+
+
+@dataclass
+class DaemonStats:
+    requests: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    check_s: float = 0.0
+    total_s: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+
+class DaemonServer:
+    """One daemon session over a pair of line streams."""
+
+    def __init__(
+        self,
+        cache_dir: str | None = DEFAULT_CACHE_DIR,
+        jobs: int = 1,
+        stdin=None,
+        stdout=None,
+    ) -> None:
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.jobs = jobs
+        self.stdin = stdin if stdin is not None else sys.stdin
+        self.stdout = stdout if stdout is not None else sys.stdout
+        self.stats = DaemonStats()
+
+    # -- protocol ------------------------------------------------------------
+
+    def serve(self) -> int:
+        """Answer requests until ``shutdown`` or EOF; returns 0."""
+        ensure_process_initialized()  # pay the prelude parse once, up front
+        self._send({"ready": True, "jobs": self.jobs,
+                    "cache": self.cache.root if self.cache else None})
+        for line in self.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            if line in ("shutdown", "quit", "exit"):
+                break
+            self._send(self.handle_line(line))
+        self._send({
+            "bye": True,
+            "requests": self.stats.requests,
+            "errors": self.stats.errors,
+            "cache_hits": self.stats.cache_hits,
+            "cache_misses": self.stats.cache_misses,
+        })
+        return 0
+
+    def handle_line(self, line: str) -> dict:
+        self.stats.requests += 1
+        request_id = self.stats.requests
+        try:
+            argv = self._parse_request(line)
+        except ValueError as exc:
+            self.stats.errors += 1
+            return {"id": request_id, "status": 2, "error": str(exc)}
+        return self.handle_request(argv, request_id)
+
+    def handle_request(self, argv: list[str], request_id: int) -> dict:
+        from ..driver import cli
+
+        try:
+            status, output = cli.run(argv, cache=self.cache, jobs=self.jobs)
+        except cli.CliError as exc:
+            self.stats.errors += 1
+            return {"id": request_id, "status": 2, "error": str(exc)}
+        except Exception as exc:  # a daemon must survive any one request
+            self.stats.errors += 1
+            return {
+                "id": request_id, "status": 2,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+            }
+        stats = cli.LAST_RUN_STATS
+        payload: dict = {"id": request_id, "status": status, "output": output}
+        if stats is not None:
+            self.stats.cache_hits += stats.cache_hits
+            self.stats.cache_misses += stats.cache_misses
+            self.stats.check_s += stats.check_s
+            self.stats.total_s += stats.total_s
+            payload["stats"] = {
+                "cache_hits": stats.cache_hits,
+                "cache_misses": stats.cache_misses,
+                "memo_hits": stats.memo_hits,
+                "memo_misses": stats.memo_misses,
+                "preprocess_ms": round(stats.preprocess_s * 1000, 3),
+                "parse_ms": round(stats.parse_s * 1000, 3),
+                "check_ms": round(stats.check_s * 1000, 3),
+                "total_ms": round(stats.total_s * 1000, 3),
+            }
+        return payload
+
+    @staticmethod
+    def _parse_request(line: str) -> list[str]:
+        if line.startswith("["):
+            try:
+                parsed = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"malformed JSON request: {exc}") from exc
+            if not isinstance(parsed, list) or not all(
+                isinstance(a, str) for a in parsed
+            ):
+                raise ValueError("JSON request must be an array of strings")
+            return parsed
+        try:
+            return shlex.split(line)
+        except ValueError as exc:
+            raise ValueError(f"malformed request line: {exc}") from exc
+
+    def _send(self, payload: dict) -> None:
+        self.stdout.write(json.dumps(payload) + "\n")
+        self.stdout.flush()
+
+
+def run_daemon(argv: list[str]) -> int:
+    """Entry for ``pylclint --daemon [--cache-dir D] [--jobs N] [--no-cache]``."""
+    cache_dir: str | None = DEFAULT_CACHE_DIR
+    jobs = 1
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg in ("--cache-dir", "-cache-dir"):
+            i += 1
+            if i >= len(argv):
+                print("pylclint: --cache-dir requires a directory",
+                      file=sys.stderr)
+                return 2
+            cache_dir = argv[i]
+        elif arg.startswith("--cache-dir="):
+            cache_dir = arg.split("=", 1)[1]
+        elif arg in ("--no-cache", "-no-cache"):
+            cache_dir = None
+        elif arg in ("--jobs", "-jobs", "-j"):
+            i += 1
+            if i >= len(argv):
+                print("pylclint: --jobs requires a count", file=sys.stderr)
+                return 2
+            jobs = _parse_jobs(argv[i])
+        elif arg.startswith("--jobs="):
+            jobs = _parse_jobs(arg.split("=", 1)[1])
+        else:
+            print(f"pylclint: unknown daemon option {arg!r}", file=sys.stderr)
+            return 2
+        i += 1
+    return DaemonServer(cache_dir=cache_dir, jobs=jobs).serve()
+
+
+def _parse_jobs(value: str) -> int:
+    try:
+        return max(1, int(value))
+    except ValueError:
+        return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run_daemon(list(sys.argv[1:] if argv is None else argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

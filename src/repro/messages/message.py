@@ -54,6 +54,16 @@ class MessageCode(enum.Enum):
         self.slug = slug
         self.flag = flag
 
+    @classmethod
+    def from_slug(cls, slug: str) -> "MessageCode":
+        try:
+            return _CODE_BY_SLUG[slug]
+        except KeyError:
+            raise ValueError(f"unknown message code slug {slug!r}") from None
+
+
+_CODE_BY_SLUG: dict[str, MessageCode] = {code.slug: code for code in MessageCode}
+
 
 @dataclass(frozen=True)
 class SubLocation:
@@ -80,5 +90,40 @@ class Message:
         return (self.location.filename, self.location.line,
                 self.location.column, self.code.slug, self.text)
 
+    # -- serialization (used by the incremental result cache) ---------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe representation preserving locations exactly."""
+        return {
+            "code": self.code.slug,
+            "location": _location_to_list(self.location),
+            "text": self.text,
+            "subs": [
+                [_location_to_list(sub.location), sub.text]
+                for sub in self.subs
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Message":
+        return Message(
+            code=MessageCode.from_slug(data["code"]),
+            location=_location_from_list(data["location"]),
+            text=data["text"],
+            subs=tuple(
+                SubLocation(_location_from_list(loc), text)
+                for loc, text in data.get("subs", [])
+            ),
+        )
+
     def __str__(self) -> str:
         return self.render()
+
+
+def _location_to_list(loc: Location) -> list:
+    return [loc.filename, loc.line, loc.column]
+
+
+def _location_from_list(data: list) -> Location:
+    filename, line, column = data
+    return Location(str(filename), int(line), int(column))

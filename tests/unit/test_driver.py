@@ -181,8 +181,24 @@ class TestCliErrorHandling:
             run([str(bad)])
 
     def test_missing_file_is_a_cli_error(self):
-        with pytest.raises(CliError):
+        with pytest.raises(CliError, match="cannot read"):
             run(["/nonexistent/definitely/missing.c"])
+
+    def test_missing_file_never_raises_oserror(self):
+        # The regression this pins: a missing input must surface as a
+        # clean CliError, not a raw FileNotFoundError traceback.
+        try:
+            run(["/nonexistent/definitely/missing.c"])
+        except CliError:
+            pass
+        else:  # pragma: no cover
+            pytest.fail("expected a CliError")
+
+    def test_non_utf8_file_is_a_cli_error(self, tmp_path):
+        path = tmp_path / "latin1.c"
+        path.write_bytes(b"int x; /* caf\xe9 */\n")
+        with pytest.raises(CliError, match="not a UTF-8 text file"):
+            run([str(path)])
 
     def test_main_returns_2_on_cli_error(self, capsys):
         from repro.driver.cli import main
@@ -190,6 +206,72 @@ class TestCliErrorHandling:
         status = main(["/nonexistent/missing.c"])
         assert status == 2
         assert "pylclint:" in capsys.readouterr().err
+
+    def test_main_returns_2_on_non_utf8(self, tmp_path, capsys):
+        from repro.driver.cli import main
+
+        path = tmp_path / "bad.c"
+        path.write_bytes(b"\xff\xfeint x;\n")
+        status = main([str(path)])
+        assert status == 2
+        assert "UTF-8" in capsys.readouterr().err
+
+
+class TestCliIncrementalOptions:
+    def test_jobs_option_parses(self, sample_file):
+        status, output = run(["--jobs", "2", sample_file])
+        assert status == 2
+        assert "Only storage gname not released" in output
+
+    def test_jobs_equals_form(self, sample_file):
+        status, _ = run(["--jobs=2", sample_file])
+        assert status == 2
+
+    def test_jobs_rejects_garbage(self, sample_file):
+        with pytest.raises(CliError, match="--jobs"):
+            run(["--jobs", "many", sample_file])
+        with pytest.raises(CliError, match="--jobs"):
+            run(["--jobs", "0", sample_file])
+        with pytest.raises(CliError, match="--jobs"):
+            run(["--jobs"])
+
+    def test_cache_dir_option(self, sample_file, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        status1, out1 = run(["--cache-dir", cache_dir, sample_file])
+        status2, out2 = run(["--cache-dir", cache_dir, sample_file])
+        assert (status1, out1) == (status2, out2)
+        import os
+
+        assert os.path.isdir(os.path.join(cache_dir, "results"))
+
+    def test_no_cache_wins(self, sample_file, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        status, _ = run(["--cache-dir", cache_dir, "--no-cache", sample_file])
+        assert status == 2
+        import os
+
+        assert not os.path.isdir(os.path.join(cache_dir, "results"))
+
+    def test_incremental_stats_rendered(self, sample_file, tmp_path):
+        _, output = run(
+            ["-stats", "--cache-dir", str(tmp_path / "c"), sample_file]
+        )
+        assert "incremental statistics:" in output
+        assert "result cache:" in output
+
+    def test_daemon_flag_rejected_inside_run(self, sample_file):
+        with pytest.raises(CliError, match="daemon"):
+            run(["--daemon", sample_file])
+
+    def test_dump_load_with_incremental_engine(self, tmp_path, clean_file):
+        lib = str(tmp_path / "prog.lcd")
+        status, output = run(
+            ["--cache-dir", str(tmp_path / "c"), "-dump", lib, clean_file]
+        )
+        assert status == 0
+        assert "interface library written" in output
+        status2, _ = run(["-load", lib, clean_file])
+        assert status2 == 0
 
 
 class TestCliTrace:

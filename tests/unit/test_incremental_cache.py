@@ -1,0 +1,195 @@
+"""Tests for the fingerprint layer and the on-disk result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.api import Checker
+from repro.flags.registry import Flags
+from repro.frontend.source import Location
+from repro.incremental.cache import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    UnitMemo,
+)
+from repro.incremental.fingerprint import (
+    check_fingerprint,
+    flags_digest,
+    interface_digest,
+    prelude_digest,
+    program_digest,
+    source_key,
+    stable_digest,
+    token_stream_digest,
+)
+from repro.messages.message import Message, MessageCode
+
+
+def _tokens(source: str, name: str = "t.c"):
+    checker = Checker()
+    from repro.frontend.preprocessor import Preprocessor
+    from repro.stdlib.specs import SYSTEM_HEADERS
+
+    pp = Preprocessor(
+        checker.sources, defines=dict(checker.defines),
+        system_headers=SYSTEM_HEADERS,
+    )
+    return pp.preprocess_text(source, name)
+
+
+class TestFingerprints:
+    def test_token_digest_stable_and_content_sensitive(self):
+        a = token_stream_digest(_tokens("int f(void) { return 1; }\n"))
+        b = token_stream_digest(_tokens("int f(void) { return 1; }\n"))
+        c = token_stream_digest(_tokens("int f(void) { return 2; }\n"))
+        assert a == b
+        assert a != c
+
+    def test_token_digest_sees_line_shifts(self):
+        # A leading blank line changes every location, hence the digest:
+        # cached messages would render with stale line numbers otherwise.
+        a = token_stream_digest(_tokens("int f(void) { return 1; }\n"))
+        b = token_stream_digest(_tokens("\nint f(void) { return 1; }\n"))
+        assert a != b
+
+    def test_flags_digest_uses_effective_values(self):
+        assert flags_digest(Flags()) == flags_digest(Flags({"null": True}))
+        assert flags_digest(Flags()) != flags_digest(Flags({"null": False}))
+
+    def test_prelude_digest_is_stable(self):
+        assert prelude_digest() == prelude_digest()
+
+    def test_source_key_depends_on_name_text_defines(self):
+        base = source_key("a.c", "int x;", {})
+        assert base == source_key("a.c", "int x;", {})
+        assert base != source_key("b.c", "int x;", {})
+        assert base != source_key("a.c", "int y;", {})
+        assert base != source_key("a.c", "int x;", {"D": "1"})
+
+    def test_interface_digest_survives_cyclic_struct_types(self):
+        # struct _elem contains a pointer to itself: the canonical walk
+        # must cut the cycle instead of recursing forever.
+        result = Checker().check_sources(
+            {
+                "cyc.c": (
+                    "typedef struct _elem { int v; struct _elem *next; } "
+                    "*elem;\n"
+                    "extern elem mk(void);\n"
+                )
+            }
+        )
+        digest = interface_digest(result.symtab, {})
+        assert digest == interface_digest(result.symtab, {})
+
+    def test_interface_digest_sees_annotation_changes(self):
+        plain = Checker().check_sources({"m.c": "extern char *gp;\n"})
+        annotated = Checker().check_sources(
+            {"m.c": "extern /*@null@*/ char *gp;\n"}
+        )
+        assert interface_digest(plain.symtab, {}) != interface_digest(
+            annotated.symtab, {}
+        )
+
+    def test_stable_digest_sorts_sets(self):
+        assert stable_digest({"a", "b", "c"}) == stable_digest({"c", "b", "a"})
+
+    def test_check_fingerprint_composition(self):
+        prog = program_digest(["i1", "i2"], [])
+        assert check_fingerprint("t", Flags(), prog) == check_fingerprint(
+            "t", Flags(), prog
+        )
+        assert check_fingerprint("t", Flags(), prog) != check_fingerprint(
+            "t", Flags({"null": False}), prog
+        )
+        assert prog != program_digest(["i1", "iX"], [])
+
+
+def _message(line: int = 3) -> Message:
+    from repro.messages.message import SubLocation
+
+    return Message(
+        MessageCode.NULL_DEREF,
+        Location("x.c", line, 7),
+        "Possible dereference of null pointer p",
+        (SubLocation(Location("x.c", line - 1, 2), "Storage p may become null"),),
+    )
+
+
+class TestResultCache:
+    FP = "ab" * 32
+
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        cache.put_result(self.FP, [_message()], suppressed=2)
+        loaded = cache.get_result(self.FP)
+        assert loaded is not None
+        messages, suppressed = loaded
+        assert suppressed == 2
+        assert [m.render() for m in messages] == [_message().render()]
+
+    def test_miss_on_unknown_fingerprint(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        assert cache.get_result("cd" * 32) is None
+
+    def test_corrupted_result_is_a_miss_and_discarded(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        cache.put_result(self.FP, [_message()], suppressed=0)
+        victim = os.path.join(cache.root, "results", self.FP + ".json")
+        with open(victim, "w") as handle:
+            handle.write('{"messages": [[[[ GARBAGE')
+        assert cache.get_result(self.FP) is None
+        assert not os.path.exists(victim)
+
+    def test_wrong_shape_json_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        victim = os.path.join(cache.root, "results", self.FP + ".json")
+        with open(victim, "w") as handle:
+            json.dump({"messages": [{"nope": 1}], "suppressed": 0}, handle)
+        assert cache.get_result(self.FP) is None
+
+    def test_version_mismatch_rebuilds(self, tmp_path):
+        root = str(tmp_path / "c")
+        cache = ResultCache(root)
+        cache.put_result(self.FP, [_message()], suppressed=0)
+        with open(os.path.join(root, "meta.json"), "w") as handle:
+            json.dump({"format": CACHE_FORMAT_VERSION + 1, "engine": 0}, handle)
+        reopened = ResultCache(root)
+        assert reopened.get_result(self.FP) is None  # wiped
+        assert any("rebuilding" in note for note in reopened.notes)
+
+    def test_garbage_meta_rebuilds(self, tmp_path):
+        root = str(tmp_path / "c")
+        ResultCache(root)
+        with open(os.path.join(root, "meta.json"), "w") as handle:
+            handle.write("not json at all {{{")
+        reopened = ResultCache(root)
+        assert reopened.get_result(self.FP) is None
+
+    def test_unit_memo_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        memo = UnitMemo(
+            token_digest="t" * 8,
+            iface_digest="i" * 8,
+            iface_pickle=b"\x80\x04N.",  # pickled None
+            includes=[("h.h", "s" * 8)],
+            enum_consts={"LIMIT": 4},
+        )
+        cache.put_unit_memo(self.FP, memo)
+        loaded = cache.get_unit_memo(self.FP)
+        assert loaded is not None
+        assert loaded.token_digest == memo.token_digest
+        assert loaded.includes == memo.includes
+        assert loaded.enum_consts == {"LIMIT": 4}
+
+    def test_corrupted_unit_memo_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        victim = os.path.join(cache.root, "units", self.FP + ".pkl")
+        with open(victim, "wb") as handle:
+            handle.write(b"\x80\x04 truncated garbage")
+        assert cache.get_unit_memo(self.FP) is None
+
+    def test_non_hex_key_rejected(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        with pytest.raises(ValueError):
+            cache.get_result("../../../etc/passwd")

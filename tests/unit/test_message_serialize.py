@@ -1,0 +1,102 @@
+"""Serialization round-trips for :class:`Message` (the cache layer's
+wire format): code, location, text, and sub-locations must all survive."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import Checker
+from repro.frontend.source import Location
+from repro.messages.message import Message, MessageCode, SubLocation
+
+_codes = st.sampled_from(list(MessageCode))
+_names = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), min_size=1,
+    max_size=20,
+)
+_locations = st.builds(
+    Location,
+    filename=_names,
+    line=st.integers(min_value=0, max_value=10**6),
+    column=st.integers(min_value=0, max_value=500),
+)
+_subs = st.tuples() | st.tuples(
+    st.builds(SubLocation, location=_locations, text=_names)
+) | st.tuples(
+    st.builds(SubLocation, location=_locations, text=_names),
+    st.builds(SubLocation, location=_locations, text=_names),
+)
+_messages = st.builds(
+    Message, code=_codes, location=_locations, text=_names, subs=_subs
+)
+
+BUGGY = """#include <stdlib.h>
+extern /*@only@*/ char *gname;
+void f(/*@null@*/ char *p, /*@temp@*/ char *q, int c) {
+    char *r = (char *) malloc(4);
+    gname = q;
+    if (c) { free(r); }
+    *p = 'x';
+}
+"""
+
+
+class TestMessageRoundTrip:
+    def test_simple_round_trip(self):
+        msg = Message(
+            MessageCode.NULL_DEREF, Location("a.c", 4, 9),
+            "Possible dereference of null pointer p",
+            (SubLocation(Location("a.c", 2, 1), "Storage p may become null"),),
+        )
+        clone = Message.from_dict(msg.to_dict())
+        assert clone == msg
+        assert clone.render() == msg.render()
+
+    def test_json_safe(self):
+        msg = Message(MessageCode.LEAK_SCOPE, Location("a.c", 1, 1), "leak")
+        wire = json.dumps(msg.to_dict())
+        assert Message.from_dict(json.loads(wire)) == msg
+
+    def test_unknown_slug_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            MessageCode.from_slug("no-such-check")
+
+    @given(_messages)
+    @settings(max_examples=60, deadline=None)
+    def test_any_message_survives_json(self, msg):
+        wire = json.dumps(msg.to_dict())
+        clone = Message.from_dict(json.loads(wire))
+        assert clone == msg
+        assert clone.render() == msg.render()
+        assert clone.sort_key() == msg.sort_key()
+
+    def test_real_checker_messages_round_trip(self):
+        result = Checker().check_sources({"b.c": BUGGY})
+        assert result.messages, "expected anomalies in the fixture"
+        for msg in result.messages:
+            clone = Message.from_dict(json.loads(json.dumps(msg.to_dict())))
+            assert clone.render() == msg.render()
+
+
+class TestCachedEqualsFresh:
+    """Cached (serialized + reloaded) runs must render identically to
+    fresh ones — the cache can never change what the user sees."""
+
+    @given(stage=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=3, deadline=None)
+    def test_db_stage_renders_identically_through_cache(self, stage):
+        import tempfile
+
+        from repro.bench.dbexample import db_sources
+        from repro.incremental import IncrementalChecker, ResultCache
+
+        files = db_sources(stage)
+        fresh = Checker().check_sources(dict(files))
+        root = tempfile.mkdtemp(prefix="msgcache-")
+        IncrementalChecker(cache=ResultCache(root)).check_sources(dict(files))
+        cached = IncrementalChecker(cache=ResultCache(root)).check_sources(
+            dict(files)
+        )
+        assert cached.render() == fresh.render()
