@@ -1,14 +1,169 @@
-"""Frontend throughput: lexing, preprocessing, parsing.
+"""BENCH-FRONTEND: cold frontend throughput and regex-lexer acceptance.
 
-Supporting measurements for PERF-LIN: the per-phase cost of the
+Supporting measurements for PERF-LIN: the per-phase cost of the cold
 pipeline on a generated program, so regressions in any one phase are
-visible independently of the analysis.
+visible independently of the analysis.  On top of the throughput
+benchmarks this file carries the regex-lexer acceptance criteria:
+
+* the master-regex lexer must tokenize the generated 4000-line program
+  at least ``REQUIRED_SPEEDUP``x faster than the retained reference
+  scanner (the seed implementation);
+* both scanners must produce identical ``(kind, value, line, column)``
+  streams — and identical token-stream digests, so incremental-cache
+  fingerprints survive the rewrite;
+* a whole check of ``examples/db`` under either scanner must render
+  byte-identical messages;
+* a warm incremental run after a cold one must answer every unit from
+  the result cache.
+
+Runs two ways:
+
+* under pytest (collected with the rest of the benchmark suite), and
+* as a script -- ``PYTHONPATH=src python benchmarks/bench_frontend.py``
+  writes the trajectory summary to ``BENCH_frontend.json``.
 """
 
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+    )
+
+from repro.bench.dbexample import db_sources
 from repro.bench.generator import generate_program_of_size
 from repro.core.api import Checker
-from repro.frontend.lexer import tokenize
+from repro.frontend.lexer import lexer_engine, reference_tokenize, tokenize
 from repro.frontend.source import SourceFile
+from repro.incremental import IncrementalChecker, ResultCache
+from repro.incremental.fingerprint import token_stream_digest
+
+#: The regex lexer must beat the seed (reference) scanner by this much.
+REQUIRED_SPEEDUP = 3.0
+
+#: Absolute cold-lex throughput floor (MB/s), deliberately conservative
+#: so a loaded CI machine does not flake; local runs land far above it.
+REQUIRED_MBPS = 0.5
+
+
+def _program_files() -> dict[str, str]:
+    return dict(generate_program_of_size(4000).files)
+
+
+def _time_lexer(lex, files, rounds: int = 5) -> float:
+    """Best-of-N cold lex of every file (fresh SourceFile each round)."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for name, text in files.items():
+            lex(SourceFile(name, text))
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _stream(tokens):
+    return [(t.kind, t.value) + t.coords()[1:] for t in tokens]
+
+
+def measure_lexer_speedup(files=None, rounds: int = 5) -> dict:
+    files = files or _program_files()
+    chars = sum(len(t) for t in files.values())
+    regex_s = _time_lexer(tokenize, files, rounds)
+    reference_s = _time_lexer(reference_tokenize, files, rounds)
+    return {
+        "files": len(files),
+        "chars": chars,
+        "regex_ms": round(regex_s * 1000, 2),
+        "reference_ms": round(reference_s * 1000, 2),
+        "speedup": round(reference_s / regex_s, 2) if regex_s else float("inf"),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "mb_per_s": round(chars / regex_s / 1e6, 2),
+        "required_mb_per_s": REQUIRED_MBPS,
+        "rounds": rounds,
+    }
+
+
+def measure_db_parity() -> dict:
+    """Regex vs reference on the real examples/db tree.
+
+    Token streams, token-stream digests (the incremental fingerprint
+    input), and whole-check rendered messages must all be identical.
+    """
+    files = db_sources()
+    streams_equal = True
+    digests_equal = True
+    for name, text in files.items():
+        regex_toks = tokenize(SourceFile(name, text))
+        ref_toks = reference_tokenize(SourceFile(name, text))
+        if _stream(regex_toks) != _stream(ref_toks):
+            streams_equal = False
+        if token_stream_digest(regex_toks) != token_stream_digest(ref_toks):
+            digests_equal = False
+
+    # Message parity on stage 1 (a healthy message population) and the
+    # final annotated stage (clean — parity of silence matters too).
+    messages = 0
+    messages_identical = True
+    for stage_files in (db_sources(1), files):
+        regex_msgs = [
+            m.render() for m in Checker().check_sources(dict(stage_files)).messages
+        ]
+        with lexer_engine("reference"):
+            ref_msgs = [
+                m.render()
+                for m in Checker().check_sources(dict(stage_files)).messages
+            ]
+        messages += len(regex_msgs)
+        messages_identical = messages_identical and regex_msgs == ref_msgs
+    return {
+        "files": len(files),
+        "token_streams_identical": streams_equal,
+        "token_digests_identical": digests_equal,
+        "messages": messages,
+        "messages_identical": messages_identical,
+    }
+
+
+def measure_phase_profile(rounds: int = 3) -> dict:
+    """Cold per-phase timings plus warm cache behaviour on examples/db."""
+    files = db_sources()
+    cold_timings = None
+    warm_all_hits = True
+    colds, warms = [], []
+    for _ in range(rounds):
+        with tempfile.TemporaryDirectory(prefix="pylclint-bench-") as root:
+            cold = IncrementalChecker(cache=ResultCache(root))
+            t0 = time.perf_counter()
+            cold.check_sources(dict(files))
+            colds.append(time.perf_counter() - t0)
+            cold_timings = cold.stats.phase_timings()
+
+            warm = IncrementalChecker(cache=ResultCache(root))
+            t0 = time.perf_counter()
+            warm.check_sources(dict(files))
+            warms.append(time.perf_counter() - t0)
+            warm_all_hits = warm_all_hits and (
+                warm.stats.cache_hits == warm.stats.units
+            )
+    return {
+        "phases_ms": {
+            phase: round(seconds * 1000, 2)
+            for phase, seconds in cold_timings.items()
+        },
+        "cold_ms": round(statistics.median(colds) * 1000, 2),
+        "warm_ms": round(statistics.median(warms) * 1000, 2),
+        "warm_hits_all_units": warm_all_hits,
+        "rounds": rounds,
+    }
+
+
+# -- pytest entry points ------------------------------------------------------
 
 
 def _biggest_module(program):
@@ -25,6 +180,22 @@ def test_lexer_throughput(benchmark):
     source = SourceFile(name, text)
     toks = benchmark(lambda: tokenize(source))
     assert len(toks) > 100
+
+
+def test_lexer_speedup_over_reference(benchmark, table_printer):
+    summary = benchmark.pedantic(
+        measure_lexer_speedup, rounds=1, iterations=1
+    )
+    table_printer("BENCH-FRONTEND: regex vs reference lexer", [summary])
+    assert summary["speedup"] >= REQUIRED_SPEEDUP, summary
+
+
+def test_db_frontend_parity(benchmark, table_printer):
+    summary = benchmark.pedantic(measure_db_parity, rounds=1, iterations=1)
+    table_printer("BENCH-FRONTEND: engine parity on examples/db", [summary])
+    assert summary["token_streams_identical"]
+    assert summary["token_digests_identical"]
+    assert summary["messages_identical"]
 
 
 def test_parse_unit_throughput(benchmark):
@@ -44,10 +215,10 @@ def test_parse_unit_throughput(benchmark):
 
 def test_runtime_interpreter_throughput(benchmark):
     """Executing the db example under the instrumented heap."""
-    from repro.bench.dbexample import FINAL_STAGE, db_sources
+    from repro.bench.dbexample import FINAL_STAGE, db_sources as _db
     from repro.runtime.interp import run_program
 
-    files = db_sources(FINAL_STAGE)
+    files = _db(FINAL_STAGE)
 
     def run():
         return run_program(files, max_steps=5_000_000)
@@ -55,3 +226,42 @@ def test_runtime_interpreter_throughput(benchmark):
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.exit_code == 0
     assert result.allocations > result.frees  # global-reachable residue
+
+
+# -- script mode --------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out_path = argv[0] if argv else "BENCH_frontend.json"
+    speedup = measure_lexer_speedup()
+    parity = measure_db_parity()
+    profile = measure_phase_profile()
+    report = {
+        "benchmark": "cold frontend (regex lexer vs seed reference scanner)",
+        "lexer_speedup": speedup,
+        "db_parity": parity,
+        "phase_profile": profile,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"cold lex {speedup['reference_ms']}ms (reference) -> "
+        f"{speedup['regex_ms']}ms (regex): {speedup['speedup']}x "
+        f"(required {REQUIRED_SPEEDUP}x), {speedup['mb_per_s']} MB/s "
+        f"(floor {REQUIRED_MBPS}); wrote {out_path}"
+    )
+    ok = (
+        speedup["speedup"] >= REQUIRED_SPEEDUP
+        and speedup["mb_per_s"] >= REQUIRED_MBPS
+        and parity["token_streams_identical"]
+        and parity["token_digests_identical"]
+        and parity["messages_identical"]
+        and profile["warm_hits_all_units"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

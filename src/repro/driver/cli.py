@@ -11,6 +11,9 @@ Usage follows LCLint's conventions::
     -dot function           print the control-flow graph in DOT form
     -trace function         print the per-point dataflow trace (section 5)
     -stats                  print checking statistics
+    --profile               print a per-phase timing table
+                            (lex / preprocess / parse / analyze,
+                            cold vs warm units)
     -flags                  list all flags with their defaults
     -quiet                  suppress the summary line
 
@@ -101,6 +104,7 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
     dot_function: str | None = None
     trace_function_name: str | None = None
     want_stats = False
+    want_profile = False
     quiet = False
     cache_dir: str | None = None
     no_cache = False
@@ -159,6 +163,8 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
             no_cache = True
         elif arg == "-stats":
             want_stats = True
+        elif arg in ("--profile", "-profile"):
+            want_profile = True
         elif arg == "-quiet":
             quiet = True
         elif arg.startswith(("-", "+")) and len(arg) > 1:
@@ -188,7 +194,8 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
     stats = None
 
     try:
-        if cache is not None or jobs > 1:
+        # --profile needs the instrumented engine even without a cache.
+        if cache is not None or jobs > 1 or want_profile:
             from ..incremental.engine import IncrementalChecker
 
             checker = IncrementalChecker(
@@ -229,6 +236,9 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
         out.append(_stats_for(result))
         if stats is not None:
             out.append(stats.render())
+
+    if want_profile and stats is not None:
+        out.append(stats.render_profile())
 
     if not quiet:
         out.append(f"{len(result.messages)} code warning(s)")

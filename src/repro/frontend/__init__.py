@@ -3,7 +3,14 @@
 from __future__ import annotations
 
 from . import cast
-from .lexer import LexError, Lexer, tokenize
+from .lexer import (
+    LexError,
+    Lexer,
+    ReferenceLexer,
+    lexer_engine,
+    reference_tokenize,
+    tokenize,
+)
 from .parser import ParseError, Parser, parse_tokens
 from .preprocessor import PreprocessError, Preprocessor
 from .source import BUILTIN_LOCATION, Location, SourceFile, SourceManager
@@ -14,6 +21,9 @@ __all__ = [
     "cast",
     "LexError",
     "Lexer",
+    "ReferenceLexer",
+    "lexer_engine",
+    "reference_tokenize",
     "tokenize",
     "ParseError",
     "Parser",

@@ -7,12 +7,42 @@ so the parser can attach them to declarations. Comments beginning with
 ``/*@i`` (ignore), ``/*@-``/``/*@+`` (flag settings), or ``/*@end@*/`` are
 *control comments* and are emitted as ``CONTROL`` tokens consumed by the
 message-suppression machinery.
+
+Two scanners live here:
+
+* :class:`Lexer` — the production scanner.  One compiled master regex
+  (a single alternation covering whitespace, comments, identifiers,
+  numbers, strings, chars, and every punctuator in reference precedence
+  order) advances through the file match by match; tokens carry a
+  ``(source, offset)`` pair and compute their ``Location`` lazily.
+
+* :class:`ReferenceLexer` — the retained character-at-a-time scanner the
+  project started with.  It is the executable specification: the parity
+  suite asserts the two produce identical ``(kind, value, line, column)``
+  streams, and when the master regex cannot match (exotic characters),
+  the production scanner delegates a single token to the reference
+  scanner so behaviour — including the exact ``LexError`` raised — stays
+  identical by construction.
+
+``lexer_engine("reference")`` switches the module default, which the
+benchmark harness uses to run whole checks against the reference scanner.
 """
 
 from __future__ import annotations
 
+import re
+from contextlib import contextmanager
+from sys import intern as _intern
+
 from .source import SourceFile
-from .tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+from .tokens import (
+    KEYWORD_SPELLINGS,
+    KEYWORDS,
+    PUNCT_SPELLINGS,
+    PUNCTUATORS,
+    Token,
+    TokenKind,
+)
 
 
 class LexError(Exception):
@@ -47,12 +77,222 @@ def _is_ident_char(ch: str) -> bool:
     return ch.isalnum() or ch == "_"
 
 
-class Lexer:
-    """Tokenize one source file.
+# -- the master regex ---------------------------------------------------------
+#
+# One compiled pattern per token: a *skip prefix* swallows whitespace,
+# backslash-newline splices, and plain (non-``@``) comments, then a
+# single alternation matches the token itself. Alternatives are tried
+# left to right, so ordering encodes precedence: numbers before
+# punctuators (``.5`` is a float, ``.`` alone a punctuator), ``/*@``
+# before the ``/`` punctuator, and the punctuator branch joins
+# PUNCTUATORS in tuple order, which reproduces the reference scanner's
+# first-match (longest-spelling-first) semantics exactly.
 
-    The lexer is line-oriented enough to support the preprocessor: it can
-    be asked for raw lines, but its main interface is :meth:`tokens`,
-    which yields every token in the file including a trailing EOF.
+_PUNCT_PATTERN = "|".join(re.escape(p) for p in PUNCTUATORS)
+
+# The skip loop is *possessive* (``*+``, needs Python >= 3.11): once
+# whitespace or a comment is consumed the regex engine may not backtrack
+# into it to manufacture a token out of comment text when nothing
+# follows (e.g. a file ending in a line comment).
+_SKIP_PATTERN = r"""
+    (?: [ \t\r\n\f\v]+
+      | \\\n
+      | //[^\n]*
+      | /\*(?!@)[^*]*\*+(?:[^/*][^*]*\*+)*/
+    )*+
+"""
+
+MASTER_REGEX = re.compile(
+    _SKIP_PATTERN
+    + r"""
+    (?:
+      (?P<IDENT>[^\W\d]\w*)
+    | (?P<NUMBER>
+          0[xX][0-9a-fA-F]*[uUlLfF]*
+        | (?:[0-9]+(?:\.[0-9]*)?|\.[0-9]+)(?:[eE][+-]?[0-9]+)?[uUlLfF]*
+      )
+    | (?P<SPECIAL>/\*@)
+    | (?P<STRING>"(?:[^"\\\n]|\\[\s\S])*")
+    | (?P<CHAR>'(?:[^'\\\n]|\\[\s\S])*')
+    | (?P<PUNCT>%s)
+    )
+    """
+    % _PUNCT_PATTERN,
+    re.VERBOSE,
+)
+
+_IDENT_I = MASTER_REGEX.groupindex["IDENT"]
+_NUMBER_I = MASTER_REGEX.groupindex["NUMBER"]
+_SPECIAL_I = MASTER_REGEX.groupindex["SPECIAL"]
+_STRING_I = MASTER_REGEX.groupindex["STRING"]
+_CHAR_I = MASTER_REGEX.groupindex["CHAR"]
+_PUNCT_I = MASTER_REGEX.groupindex["PUNCT"]
+
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+
+class Lexer:
+    """Tokenize one source file with the compiled master regex.
+
+    The main interface is :meth:`tokens`, which returns every token in
+    the file including a trailing EOF.
+    """
+
+    def __init__(
+        self,
+        source: SourceFile,
+        keep_annotations: bool = True,
+        engine: str | None = None,
+    ) -> None:
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+        self.keep_annotations = keep_annotations
+        self.engine = engine
+
+    def tokens(self) -> list[Token]:
+        engine = self.engine or _DEFAULT_ENGINE
+        if engine == "reference":
+            return ReferenceLexer(self.source, self.keep_annotations).tokens()
+        return self._scan()
+
+    # -- the hot loop ------------------------------------------------------
+
+    def _scan(self) -> list[Token]:
+        text = self.text
+        src = self.source
+        n = len(text)
+        match = MASTER_REGEX.match
+        keep = self.keep_annotations
+        keywords = KEYWORD_SPELLINGS
+        puncts = PUNCT_SPELLINGS
+        intern = _intern
+        find = text.find
+        out: list[Token] = []
+        append = out.append
+        pos = 0
+
+        ident = TokenKind.IDENT
+        keyword = TokenKind.KEYWORD
+        punct = TokenKind.PUNCT
+        string = TokenKind.STRING
+        char_const = TokenKind.CHAR_CONST
+
+        while pos < n:
+            m = match(text, pos)
+            if m is None:
+                # Trailing whitespace/comments, or a character no branch
+                # matches: the reference scanner decides (and diagnoses).
+                pos = self._slow_token(out, pos)
+                continue
+            i = m.lastindex
+            end = m.end()
+            value = m.group(i)
+            start = end - len(value)
+            if i == _IDENT_I:
+                canon = keywords.get(value)
+                if canon is not None:
+                    append(Token(keyword, canon, None, src, start))
+                else:
+                    append(
+                        Token(ident, intern(value), None, src, start)
+                    )
+            elif i == _PUNCT_I:
+                if value == "/" and text.startswith("/*", start):
+                    # The comment skip failed to close: unterminated /* ... .
+                    raise LexError("unterminated comment", src.location(start))
+                append(Token(punct, puncts[value], None, src, start))
+            elif i == _NUMBER_I:
+                append(
+                    Token(
+                        self._number_kind(value, start),
+                        value,
+                        None,
+                        source=src,
+                        offset=start,
+                    )
+                )
+            elif i == _STRING_I:
+                append(Token(string, value, None, src, start))
+            elif i == _CHAR_I:
+                append(Token(char_const, value, None, src, start))
+            else:  # SPECIAL: /*@ annotation or control comment
+                close = find("*/", start + 3)
+                if close == -1:
+                    raise LexError(
+                        "unterminated annotation comment", src.location(start)
+                    )
+                body = text[start + 3 : close]
+                payload = (
+                    body[:-1].strip() if body.endswith("@") else body.strip()
+                )
+                if _is_control_payload(payload):
+                    append(
+                        Token(
+                            TokenKind.CONTROL, payload, None, src, start,
+                        )
+                    )
+                elif keep:
+                    append(
+                        Token(
+                            TokenKind.ANNOTATION, payload, None, src, start,
+                        )
+                    )
+                pos = close + 2
+                continue
+            pos = end
+
+        append(Token(TokenKind.EOF, "", None, src, n))
+        return out
+
+    def _number_kind(self, spelling: str, pos: int) -> TokenKind:
+        """INT vs FLOAT classification, matching the reference scanner.
+
+        Hex constants are floats only when a suffix *after* the maximal
+        hex-digit run contains ``f``/``F`` (``0x1F`` is an int — the F is
+        a digit; ``0x1UF`` is the reference scanner's float). A hex
+        prefix with no digits at all is malformed.
+        """
+        if spelling[1:2] in ("x", "X"):
+            i = 2
+            size = len(spelling)
+            while i < size and spelling[i] in _HEX_DIGITS:
+                i += 1
+            if i == 2:
+                raise LexError(
+                    "hexadecimal constant has no digits",
+                    self.source.location(pos),
+                )
+            suffix = spelling[i:]
+            if "f" in suffix or "F" in suffix:
+                return TokenKind.FLOAT_CONST
+            return TokenKind.INT_CONST
+        for ch in spelling:
+            if ch in ".eEfF":
+                return TokenKind.FLOAT_CONST
+        return TokenKind.INT_CONST
+
+    def _slow_token(self, out: list[Token], pos: int) -> int:
+        """Regex miss: delegate one token to the reference scanner.
+
+        This keeps behaviour on exotic inputs (Unicode identifier
+        characters, stray bytes) — and every diagnostic — identical to
+        the reference scanner, which raises the precise ``LexError``.
+        """
+        ref = ReferenceLexer(self.source, keep_annotations=self.keep_annotations)
+        ref.pos = pos
+        tok = ref.next_token()
+        if tok.kind is not TokenKind.EOF:
+            out.append(tok)
+        return ref.pos
+
+
+class ReferenceLexer:
+    """The retained character-at-a-time scanner (executable specification).
+
+    Kept verbatim from the original implementation apart from two fixes
+    shared with the production scanner: annotation skipping is a loop
+    (not recursion), and a hex prefix without digits is a ``LexError``.
     """
 
     def __init__(self, source: SourceFile, keep_annotations: bool = True) -> None:
@@ -86,28 +326,41 @@ class Lexer:
                 return out
 
     def next_token(self) -> Token:
-        self._skip_whitespace_and_plain_comments()
-        if self.pos >= len(self.text):
-            return Token(TokenKind.EOF, "", self._loc())
+        # Dropped annotations are skipped with a loop: a long run of
+        # /*@...@*/ comments must not recurse once per comment.
+        while True:
+            self._skip_whitespace_and_plain_comments()
+            if self.pos >= len(self.text):
+                return Token(
+                    TokenKind.EOF, "", source=self.source, offset=self.pos
+                )
 
-        start = self.pos
-        ch = self._peek()
+            start = self.pos
+            ch = self._peek()
 
-        if self._starts_with("/*@"):
-            return self._scan_special_comment()
-        if _is_ident_start(ch):
-            return self._scan_identifier()
-        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
-            return self._scan_number()
-        if ch == '"':
-            return self._scan_string()
-        if ch == "'":
-            return self._scan_char()
-        for punct in PUNCTUATORS:
-            if self._starts_with(punct):
-                self.pos += len(punct)
-                return Token(TokenKind.PUNCT, punct, self._loc(start))
-        raise LexError(f"unexpected character {ch!r}", self._loc(start))
+            if self._starts_with("/*@"):
+                tok = self._scan_special_comment()
+                if tok is None:
+                    continue
+                return tok
+            if _is_ident_start(ch):
+                return self._scan_identifier()
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                return self._scan_number()
+            if ch == '"':
+                return self._scan_string()
+            if ch == "'":
+                return self._scan_char()
+            for punct in PUNCTUATORS:
+                if self._starts_with(punct):
+                    self.pos += len(punct)
+                    return Token(
+                        TokenKind.PUNCT,
+                        PUNCT_SPELLINGS[punct],
+                        source=self.source,
+                        offset=start,
+                    )
+            raise LexError(f"unexpected character {ch!r}", self._loc(start))
 
     def _skip_whitespace_and_plain_comments(self) -> None:
         while self.pos < len(self.text):
@@ -129,7 +382,7 @@ class Lexer:
             else:
                 return
 
-    def _scan_special_comment(self) -> Token:
+    def _scan_special_comment(self) -> Token | None:
         start = self.pos
         end = self.text.find("*/", self.pos + 3)
         if end == -1:
@@ -138,27 +391,44 @@ class Lexer:
         self.pos = end + 2
         # Annotation comments conventionally end with '@': /*@null@*/.
         payload = body[:-1].strip() if body.endswith("@") else body.strip()
-        loc = self._loc(start)
-        kind = TokenKind.CONTROL if _is_control_payload(payload) else TokenKind.ANNOTATION
+        kind = (
+            TokenKind.CONTROL
+            if _is_control_payload(payload)
+            else TokenKind.ANNOTATION
+        )
         if not self.keep_annotations and kind is TokenKind.ANNOTATION:
-            return self.next_token()
-        return Token(kind, payload, loc)
+            return None
+        return Token(kind, payload, source=self.source, offset=start)
 
     def _scan_identifier(self) -> Token:
         start = self.pos
         while self.pos < len(self.text) and _is_ident_char(self._peek()):
             self.pos += 1
         spelling = self.text[start : self.pos]
-        kind = TokenKind.KEYWORD if spelling in KEYWORDS else TokenKind.IDENT
-        return Token(kind, spelling, self._loc(start))
+        if spelling in KEYWORDS:
+            return Token(
+                TokenKind.KEYWORD,
+                KEYWORD_SPELLINGS[spelling],
+                source=self.source,
+                offset=start,
+            )
+        return Token(
+            TokenKind.IDENT, _intern(spelling), source=self.source, offset=start
+        )
 
     def _scan_number(self) -> Token:
         start = self.pos
         is_float = False
         if self._starts_with("0x") or self._starts_with("0X"):
             self.pos += 2
+            digits = 0
             while self.pos < len(self.text) and self._peek() in "0123456789abcdefABCDEF":
                 self.pos += 1
+                digits += 1
+            if digits == 0:
+                raise LexError(
+                    "hexadecimal constant has no digits", self._loc(start)
+                )
         else:
             while self.pos < len(self.text) and self._peek().isdigit():
                 self.pos += 1
@@ -183,7 +453,7 @@ class Lexer:
             self.pos += 1
         spelling = self.text[start : self.pos]
         kind = TokenKind.FLOAT_CONST if is_float else TokenKind.INT_CONST
-        return Token(kind, spelling, self._loc(start))
+        return Token(kind, spelling, source=self.source, offset=start)
 
     def _scan_string(self) -> Token:
         start = self.pos
@@ -201,14 +471,21 @@ class Lexer:
                 raise LexError("newline in string literal", self._loc(start))
             else:
                 self.pos += 1
-        return Token(TokenKind.STRING, self.text[start : self.pos], self._loc(start))
+        return Token(
+            TokenKind.STRING,
+            self.text[start : self.pos],
+            source=self.source,
+            offset=start,
+        )
 
     def _scan_char(self) -> Token:
         start = self.pos
         self.pos += 1
         while True:
             if self.pos >= len(self.text):
-                raise LexError("unterminated character constant", self._loc(start))
+                raise LexError(
+                    "unterminated character constant", self._loc(start)
+                )
             ch = self._peek()
             if ch == "\\":
                 self.pos += 2
@@ -216,12 +493,53 @@ class Lexer:
                 self.pos += 1
                 break
             elif ch == "\n":
-                raise LexError("newline in character constant", self._loc(start))
+                raise LexError(
+                    "newline in character constant", self._loc(start)
+                )
             else:
                 self.pos += 1
-        return Token(TokenKind.CHAR_CONST, self.text[start : self.pos], self._loc(start))
+        return Token(
+            TokenKind.CHAR_CONST,
+            self.text[start : self.pos],
+            source=self.source,
+            offset=start,
+        )
 
 
-def tokenize(source: SourceFile, keep_annotations: bool = True) -> list[Token]:
+# -- engine selection ---------------------------------------------------------
+
+_DEFAULT_ENGINE = "regex"
+
+
+@contextmanager
+def lexer_engine(name: str):
+    """Temporarily switch the module-default scanning engine.
+
+    ``name`` is ``"regex"`` (production) or ``"reference"`` (the retained
+    character-at-a-time scanner). The benchmark harness uses this to run
+    complete checks against the reference scanner for parity and speedup
+    measurements.
+    """
+    global _DEFAULT_ENGINE
+    if name not in ("regex", "reference"):
+        raise ValueError(f"unknown lexer engine {name!r}")
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = name
+    try:
+        yield
+    finally:
+        _DEFAULT_ENGINE = previous
+
+
+def tokenize(
+    source: SourceFile, keep_annotations: bool = True, engine: str | None = None
+) -> list[Token]:
     """Convenience wrapper: lex an entire :class:`SourceFile`."""
-    return Lexer(source, keep_annotations=keep_annotations).tokens()
+    return Lexer(source, keep_annotations=keep_annotations, engine=engine).tokens()
+
+
+def reference_tokenize(
+    source: SourceFile, keep_annotations: bool = True
+) -> list[Token]:
+    """Lex with the retained reference scanner (parity/spec baseline)."""
+    return ReferenceLexer(source, keep_annotations=keep_annotations).tokens()

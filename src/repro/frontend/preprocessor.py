@@ -16,6 +16,7 @@ anomaly "in the macro definition of erc_choose" at its use site).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from .lexer import Lexer, tokenize
@@ -73,6 +74,8 @@ class Preprocessor:
         self.macros: dict[str, Macro] = {}
         self.system_headers = dict(system_headers or {})
         self._included: set[str] = set()
+        #: Seconds spent inside the lexer (profiling; cache hits cost 0).
+        self.lex_s = 0.0
         for name, value in (defines or {}).items():
             body_src = SourceFile("<cmdline>", value)
             body = [t for t in tokenize(body_src) if t.kind is not TokenKind.EOF]
@@ -130,9 +133,32 @@ class Preprocessor:
         # included from several translation units lex only once.
         raw = getattr(source, "_token_cache", None)
         if raw is None:
+            t0 = time.perf_counter()
             raw = [t for t in Lexer(source).tokens()
                    if t.kind is not TokenKind.EOF]
+            self.lex_s += time.perf_counter() - t0
             source._token_cache = raw  # type: ignore[attr-defined]
+        # Fast path: a file with no directives and no identifier naming a
+        # defined macro passes through verbatim — no line splitting, no
+        # expansion cursors. (Without directives the macro table cannot
+        # change mid-file, so one up-front set-membership pregate is
+        # sound.)
+        macros = self.macros
+        has_directive = False
+        mentions_macro = False
+        punct = TokenKind.PUNCT
+        ident = TokenKind.IDENT
+        for tok in raw:
+            kind = tok.kind
+            if kind is ident:
+                if tok.value in macros:
+                    mentions_macro = True
+                    break
+            elif kind is punct and tok.value == "#":
+                has_directive = True
+                break
+        if not has_directive and not mentions_macro:
+            return list(raw)
         lines = _split_lines(raw)
         out: list[Token] = []
         # Conditional stack entries: (taking, taken_any, seen_else).
@@ -269,15 +295,26 @@ class Preprocessor:
     # -- macro expansion ----------------------------------------------------
 
     def _expand(self, toks: list[Token], banned: frozenset[str] = frozenset()) -> list[Token]:
+        # Pregate: token runs that mention no expandable macro pass
+        # through untouched (and un-copied) — the common case for almost
+        # every line of real code.
+        macros = self.macros
+        ident = TokenKind.IDENT
+        for tok in toks:
+            if tok.kind is ident and tok.value in macros and tok.value not in banned:
+                break
+        else:
+            return toks
         out: list[Token] = []
-        cursor = _TokenCursor(toks)
-        while not cursor.at_end():
-            tok = cursor.next()
-            assert tok is not None
-            if tok.kind is not TokenKind.IDENT or tok.value in banned:
+        i = 0
+        size = len(toks)
+        while i < size:
+            tok = toks[i]
+            i += 1
+            if tok.kind is not ident or tok.value in banned:
                 out.append(tok)
                 continue
-            macro = self.macros.get(tok.value)
+            macro = macros.get(tok.value)
             if macro is None:
                 out.append(tok)
                 continue
@@ -285,22 +322,25 @@ class Preprocessor:
                 body = [Token(t.kind, t.value, tok.location) for t in macro.body]
                 out.extend(self._expand(body, banned | {macro.name}))
                 continue
-            nxt = cursor.peek()
-            if nxt is None or not nxt.is_punct("("):
+            if i >= size or not toks[i].is_punct("("):
                 out.append(tok)  # function-like macro without args: plain ident
                 continue
-            args = self._collect_args(cursor, tok.location)
+            args, i = self._collect_args(toks, i, tok.location)
             out.extend(self._substitute(macro, args, tok.location, banned))
         return out
 
-    def _collect_args(self, cursor: _TokenCursor, loc: Location) -> list[list[Token]]:
-        cursor.next()  # consume '('
+    def _collect_args(
+        self, toks: list[Token], i: int, loc: Location
+    ) -> tuple[list[list[Token]], int]:
+        i += 1  # consume '('
         args: list[list[Token]] = [[]]
         nesting = 0
+        size = len(toks)
         while True:
-            tok = cursor.next()
-            if tok is None:
+            if i >= size:
                 raise PreprocessError("unterminated macro argument list", loc)
+            tok = toks[i]
+            i += 1
             if tok.is_punct("(") or tok.is_punct("[") or tok.is_punct("{"):
                 nesting += 1
                 args[-1].append(tok)
@@ -314,8 +354,8 @@ class Preprocessor:
             else:
                 args[-1].append(tok)
         if args == [[]]:
-            return []
-        return args
+            return [], i
+        return args, i
 
     def _substitute(
         self,
@@ -605,13 +645,14 @@ def _split_lines(toks: list[Token]) -> list[list[Token]]:
     current: list[Token] = []
     current_line = None
     for tok in toks:
-        if current_line is None or tok.location.line != current_line:
+        # tok.line avoids materializing a Location per token (lazy tokens).
+        if current_line is None or tok.line != current_line:
             # A directive only ends at a real newline; continuation lines were
             # already joined by the lexer's backslash-newline handling.
             if current:
                 lines.append(current)
             current = []
-            current_line = tok.location.line
+            current_line = tok.line
         current.append(tok)
     if current:
         lines.append(current)

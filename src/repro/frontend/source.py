@@ -4,12 +4,20 @@ Every token, AST node, and diagnostic carries a :class:`Location` so that
 messages can be reported LCLint-style (``file.c:5: ...``) and so that
 sub-locations ("Storage gname may become null" at the assignment site) can
 point back into the program text.
+
+The line-start index of a :class:`SourceFile` is built lazily (with
+``re.finditer`` rather than a per-character Python loop) the first time a
+location is actually needed; a file that is lexed but produces no
+diagnostics and no parsed locations never pays for it.
 """
 
 from __future__ import annotations
 
 import bisect
+import re
 from dataclasses import dataclass, field
+
+_NEWLINE_RE = re.compile("\n")
 
 
 @dataclass(frozen=True, order=True)
@@ -33,36 +41,57 @@ BUILTIN_LOCATION = Location("<builtin>", 0, 0)
 
 @dataclass
 class SourceFile:
-    """A named body of C source text with line-offset indexing."""
+    """A named body of C source text with lazy line-offset indexing."""
 
     name: str
     text: str
-    _line_starts: list[int] = field(default_factory=list, repr=False)
+    _line_starts: list[int] | None = field(
+        default=None, repr=False, compare=False
+    )
 
-    def __post_init__(self) -> None:
-        starts = [0]
-        for i, ch in enumerate(self.text):
-            if ch == "\n":
-                starts.append(i + 1)
-        self._line_starts = starts
+    @property
+    def line_starts(self) -> list[int]:
+        """Offsets of the first character of every line (built on demand)."""
+        starts = self._line_starts
+        if starts is None:
+            starts = [0]
+            starts.extend(m.end() for m in _NEWLINE_RE.finditer(self.text))
+            self._line_starts = starts
+        return starts
 
     @property
     def line_count(self) -> int:
-        return len(self._line_starts)
+        return len(self.line_starts)
 
     def location(self, offset: int) -> Location:
         """Map a character offset into a :class:`Location`."""
         if offset < 0:
             offset = 0
-        line = bisect.bisect_right(self._line_starts, offset)
-        column = offset - self._line_starts[line - 1] + 1
+        starts = self.line_starts
+        line = bisect.bisect_right(starts, offset)
+        column = offset - starts[line - 1] + 1
         return Location(self.name, line, column)
+
+    def line_of(self, offset: int) -> int:
+        """The 1-based line containing *offset* (no Location allocation)."""
+        if offset < 0:
+            offset = 0
+        return bisect.bisect_right(self.line_starts, offset)
+
+    def coords(self, offset: int) -> tuple[str, int, int]:
+        """``(filename, line, column)`` for *offset*, allocation-light."""
+        if offset < 0:
+            offset = 0
+        starts = self.line_starts
+        line = bisect.bisect_right(starts, offset)
+        return self.name, line, offset - starts[line - 1] + 1
 
     def line_text(self, line: int) -> str:
         """Return the text of a 1-based line (without the newline)."""
-        if line < 1 or line > len(self._line_starts):
+        starts = self.line_starts
+        if line < 1 or line > len(starts):
             return ""
-        start = self._line_starts[line - 1]
+        start = starts[line - 1]
         end = self.text.find("\n", start)
         if end == -1:
             end = len(self.text)

@@ -56,9 +56,16 @@ from .parallel import check_units_parallel
 
 @dataclass
 class CheckStats:
-    """Per-phase timing and cache-traffic counters for one run."""
+    """Per-phase timing and cache-traffic counters for one run.
+
+    ``preprocess_s`` is the whole preprocessing phase *including* lexing;
+    ``lex_s`` is the lexer's share of it, measured separately so the
+    ``--profile`` table can show lex / preprocess / parse / analyze as
+    disjoint phases.
+    """
 
     units: int = 0
+    lex_s: float = 0.0
     preprocess_s: float = 0.0
     parse_s: float = 0.0
     check_s: float = 0.0
@@ -87,6 +94,45 @@ class CheckStats:
         )
         mode = "parallel" if self.parallel_used else "serial"
         lines.append(f"  schedule:          {mode} (jobs={self.jobs})")
+        return "\n".join(lines)
+
+    def phase_timings(self) -> dict[str, float]:
+        """Disjoint per-phase seconds (cold work only; warm units skip all)."""
+        preprocess = max(0.0, self.preprocess_s - self.lex_s)
+        accounted = self.lex_s + preprocess + self.parse_s + self.check_s
+        return {
+            "lex": self.lex_s,
+            "preprocess": preprocess,
+            "parse": self.parse_s,
+            "analyze": self.check_s,
+            "other": max(0.0, self.total_s - accounted),
+            "total": self.total_s,
+        }
+
+    def render_profile(self) -> str:
+        """The ``--profile`` table: per-phase timings, cold vs warm."""
+        timings = self.phase_timings()
+        total = timings["total"] or 1e-12
+        warm = self.cache_hits
+        cold = self.units - warm
+        lines = ["per-phase timing:"]
+        lines.append(f"  {'phase':<12} {'time':>10}   share")
+        for phase in ("lex", "preprocess", "parse", "analyze", "other"):
+            seconds = timings[phase]
+            lines.append(
+                f"  {phase:<12} {seconds * 1000:>8.1f} ms  {seconds / total:>5.1%}"
+            )
+        lines.append(f"  {'total':<12} {timings['total'] * 1000:>8.1f} ms")
+        lines.append(
+            f"  units:       {self.units} "
+            f"({cold} cold, {warm} warm from result cache)"
+        )
+        lines.append(
+            f"  unit memo:   {self.memo_hits} hit(s), "
+            f"{self.memo_misses} miss(es)"
+        )
+        mode = "parallel" if self.parallel_used else "serial"
+        lines.append(f"  schedule:    {mode} (jobs={self.jobs})")
         return "\n".join(lines)
 
 
@@ -308,6 +354,7 @@ class IncrementalChecker:
         )
         tokens = pp.preprocess_text(text, name)
         stats.preprocess_s += time.perf_counter() - t0
+        stats.lex_s += pp.lex_s
         return tokens, set(pp._included)
 
     def _parse_tokens(self, tokens: list[Token], name: str) -> ParsedUnit:

@@ -80,11 +80,15 @@ def token_stream_digest(tokens: list[Token]) -> str:
     differently, so they must not share a cache entry.
     """
     digest = hashlib.sha256()
+    update = digest.update
     for tok in tokens:
-        loc = tok.location
-        digest.update(
+        # coords() reads (filename, line, column) without materializing a
+        # Location object; the digest bytes are unchanged, so cache
+        # entries written before the lazy-token rewrite stay valid.
+        filename, line, column = tok.coords()
+        update(
             f"{tok.kind.name}\x00{tok.value}\x00"
-            f"{loc.filename}\x00{loc.line}\x00{loc.column}\x01".encode(
+            f"{filename}\x00{line}\x00{column}\x01".encode(
                 "utf-8", "surrogatepass"
             )
         )

@@ -1,0 +1,205 @@
+"""Parity suite: the master-regex lexer against the reference scanner.
+
+The retained character-at-a-time :class:`ReferenceLexer` is the
+executable specification of the token language. These tests assert that
+the production regex lexer produces identical ``(kind, value, line,
+column)`` streams — on hypothesis-generated C-ish inputs, on adversarial
+hand-picked fragments, and on every file of the real ``examples/db``
+tree — and that lazily computed token locations round-trip offsets
+correctly at line boundaries.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.lexer import (
+    LexError,
+    reference_tokenize,
+    tokenize,
+)
+from repro.frontend.source import SourceFile
+from repro.frontend.tokens import TokenKind
+
+EXAMPLES_DB = Path(__file__).resolve().parents[2] / "examples" / "db"
+
+
+def stream(tokens):
+    return [(t.kind, t.value) + t.coords()[1:] for t in tokens]
+
+
+def assert_parity(text: str, keep_annotations: bool = True) -> None:
+    """Both engines agree on the stream — or raise the same LexError."""
+    regex_err = ref_err = None
+    regex_toks = ref_toks = None
+    try:
+        regex_toks = tokenize(
+            SourceFile("p.c", text), keep_annotations=keep_annotations
+        )
+    except LexError as exc:
+        regex_err = str(exc)
+    try:
+        ref_toks = reference_tokenize(
+            SourceFile("p.c", text), keep_annotations=keep_annotations
+        )
+    except LexError as exc:
+        ref_err = str(exc)
+    assert regex_err == ref_err, (text, regex_err, ref_err)
+    if regex_toks is not None:
+        assert stream(regex_toks) == stream(ref_toks), text
+
+
+# -- hypothesis-generated C-ish inputs ---------------------------------------
+
+_WORDS = st.sampled_from(
+    [
+        "int", "while", "foo", "_bar", "x9", "sizeof", "struct",
+        "0", "42", "0x1F", "077", "10L", "3U", "1.5", "2e10", "3.14f",
+        ".5", "1e-3", "1f", "0x1UF",
+        "'a'", r"'\n'", '"str"', r'"with \"q\""', '""',
+        "/*@null@*/", "/*@only temp*/", "/*@ignore@*/", "/*@end@*/",
+        "/*@i3@*/", "/*@-null@*/", "/* plain */", "// line",
+        "<<=", ">>=", "...", "##", "#", "->", "++", "<=", "==", "&&",
+        "(", ")", "[", "]", "{", "}", ",", ";", "*", "&", ".", "?",
+    ]
+)
+
+_SEPARATORS = st.sampled_from([" ", "\t", "\n", "\n\n", " \t ", "\\\n", " "])
+
+
+@st.composite
+def _cish_programs(draw):
+    words = draw(st.lists(_WORDS, max_size=40))
+    seps = [draw(_SEPARATORS) for _ in words]
+    return "".join(w + s for w, s in zip(words, seps))
+
+
+class TestHypothesisParity:
+    @given(_cish_programs())
+    @settings(max_examples=300, deadline=None)
+    def test_cish_input_parity(self, text):
+        assert_parity(text)
+
+    @given(_cish_programs())
+    @settings(max_examples=100, deadline=None)
+    def test_cish_input_parity_dropping_annotations(self, text):
+        assert_parity(text, keep_annotations=False)
+
+    @given(
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_printable_soup_parity(self, text):
+        """Arbitrary printable input: same stream or same LexError."""
+        assert_parity(text)
+
+    @given(
+        st.text(alphabet="0123456789abcdefxXuUlL.eE+-fF", max_size=14)
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_number_spelling_parity(self, text):
+        assert_parity("0" + text + " end")
+
+
+class TestAdversarialFragments:
+    FRAGMENTS = [
+        "",
+        "\n\n\n",
+        "// comment only",
+        "/* comment only */",
+        "a//b\nc",
+        "a/**/b",
+        "/**@*/",
+        "/*@*/",
+        "x/*@only temp*/y",
+        "int x = 0x1F; float y = .5f;",
+        "1..2",
+        "1.e5",
+        "1e+",
+        "0x1F.5",
+        "123abc",
+        "0x10LF",
+        'p = "a\\\nb";',
+        "ab\\\ncd",
+        "a\\\n\\\nb",
+        "#define F(x) ((x)+1)\nF(2)\n",
+        "'\\''",
+        '"\\\\"',
+        "x;\t// trailing\n",
+        "/*@null@*//*@out@*/int*p;",
+    ]
+
+    @pytest.mark.parametrize("text", FRAGMENTS)
+    def test_fragment_parity(self, text):
+        assert_parity(text)
+        assert_parity(text, keep_annotations=False)
+
+
+class TestExamplesDbParity:
+    """The full examples/db tree: the paper's real program."""
+
+    @pytest.mark.parametrize(
+        "path", sorted(EXAMPLES_DB.glob("*.[ch]")), ids=lambda p: p.name
+    )
+    def test_db_file_parity(self, path):
+        text = path.read_text(encoding="utf-8")
+        regex_toks = tokenize(SourceFile(path.name, text))
+        ref_toks = reference_tokenize(SourceFile(path.name, text))
+        assert stream(regex_toks) == stream(ref_toks)
+
+    def test_db_files_found(self):
+        assert len(list(EXAMPLES_DB.glob("*.[ch]"))) >= 10
+
+
+class TestOffsetRoundTrip:
+    """Lazy locations: offsets must map to correct line/column pairs."""
+
+    def test_locations_at_line_boundaries(self):
+        text = "a\nbb\n\n  c\nd"
+        source = SourceFile("r.c", text)
+        toks = [
+            t
+            for t in tokenize(source)
+            if t.kind is not TokenKind.EOF
+        ]
+        # Naive independently-computed expectation.
+        expected = []
+        for tok in toks:
+            offset = tok.offset
+            line = text.count("\n", 0, offset) + 1
+            column = offset - (text.rfind("\n", 0, offset) + 1) + 1
+            expected.append((line, column))
+        assert [(t.location.line, t.location.column) for t in toks] == expected
+
+    @given(
+        st.lists(
+            st.sampled_from(["x", "yy", "42", ";", "\n", " ", "\n\n"]),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_every_token_offset_round_trips(self, parts):
+        text = "".join(parts)
+        source = SourceFile("r.c", text)
+        try:
+            toks = tokenize(source)
+        except LexError:
+            return
+        for tok in toks:
+            offset = tok.offset
+            assert offset is not None
+            line = text.count("\n", 0, offset) + 1
+            column = offset - (text.rfind("\n", 0, offset) + 1) + 1
+            assert tok.coords() == ("r.c", line, column)
+            assert (tok.location.line, tok.location.column) == (line, column)
+
+    def test_eof_token_at_end_of_text(self):
+        source = SourceFile("r.c", "x\n")
+        eof = tokenize(source)[-1]
+        assert eof.kind is TokenKind.EOF
+        assert eof.location.line == 2
+        assert eof.location.column == 1

@@ -1,10 +1,20 @@
-"""Tests for the annotation-preserving C lexer."""
+"""Tests for the annotation-preserving C lexer.
+
+Most tests are parameterized over both scanning engines: the production
+master-regex lexer and the retained character-at-a-time reference
+scanner must agree everywhere (the property suite in
+``tests/property/test_lexer_parity.py`` fuzzes this agreement).
+"""
+
+import pickle
 
 import pytest
 
-from repro.frontend.lexer import LexError, tokenize
+from repro.frontend.lexer import LexError, reference_tokenize, tokenize
 from repro.frontend.source import SourceFile
-from repro.frontend.tokens import TokenKind
+from repro.frontend.tokens import Token, TokenKind
+
+ENGINES = [tokenize, reference_tokenize]
 
 
 def lex(text):
@@ -141,3 +151,82 @@ class TestBackslashContinuation:
         assert toks[0].value == "ab"  # identifier scanning stops at backslash
         # The continuation is consumed as whitespace between tokens.
         assert [t.value for t in toks] == ["ab", "cd"]
+
+
+class TestAnnotationRunRegression:
+    """A long run of dropped annotations must not recurse per comment."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_many_dropped_annotations_no_recursion(self, engine):
+        # Far deeper than the default recursion limit: the old
+        # _scan_special_comment recursed once per skipped annotation.
+        text = "/*@null@*/ " * 5000 + "int x;"
+        toks = engine(SourceFile("t.c", text), keep_annotations=False)
+        assert [t.value for t in toks[:3]] == ["int", "x", ";"]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_dropped_annotation_at_eof(self, engine):
+        toks = engine(SourceFile("t.c", "x /*@null@*/"), keep_annotations=False)
+        assert [t.kind for t in toks] == [TokenKind.IDENT, TokenKind.EOF]
+
+
+class TestHexWithoutDigits:
+    """A bare ``0x`` is not a valid integer constant."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("text", ["0x", "0X", "0x;", "0xUL", "0x + 1"])
+    def test_bare_hex_prefix_rejected(self, engine, text):
+        with pytest.raises(LexError) as exc:
+            engine(SourceFile("t.c", text))
+        assert "hexadecimal constant has no digits" in str(exc.value)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_real_hex_constants_still_accepted(self, engine):
+        toks = engine(SourceFile("t.c", "0x1F 0XaB 0x0L"))
+        assert all(
+            t.kind is TokenKind.INT_CONST
+            for t in toks
+            if t.kind is not TokenKind.EOF
+        )
+
+
+class TestLazyTokens:
+    def test_location_is_computed_lazily(self):
+        toks = lex("int\n  x;")
+        tok = toks[1]
+        assert tok._location is None  # not materialized by lexing
+        assert tok.location.line == 2
+        assert tok.location.column == 3
+        assert tok._location is not None  # cached after first access
+
+    def test_line_property_matches_location(self):
+        toks = lex("a\nb\n  c")
+        assert [t.line for t in toks] == [t.location.line for t in toks]
+
+    def test_coords_without_location(self):
+        toks = lex("a\n  b")
+        assert toks[1].coords() == ("t.c", 2, 3)
+
+    def test_keyword_and_punct_spellings_are_interned(self):
+        a = lex("int x; int y;")
+        b = lex("int z;")
+        assert a[0].value is b[0].value  # "int" shared across lexes
+        assert a[2].value is b[2].value  # ";" shared across lexes
+
+    def test_tokens_pickle_with_materialized_location(self):
+        toks = lex("int\n  x;")
+        clones = pickle.loads(pickle.dumps(toks))
+        assert [(t.kind, t.value) for t in clones] == [
+            (t.kind, t.value) for t in toks
+        ]
+        assert [t.location for t in clones] == [t.location for t in toks]
+        # The clone must not drag the source file along.
+        assert clones[0]._source is None
+
+    def test_token_equality_and_str(self):
+        a = lex("x")[0]
+        b = tokenize(SourceFile("t.c", "x"))[0]
+        assert a == b
+        assert str(a) == "x"
+        c = Token(TokenKind.IDENT, "x", SourceFile("u.c", "x").location(0))
+        assert a != c  # different filename
