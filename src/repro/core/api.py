@@ -23,9 +23,16 @@ from ..analysis.checker import CheckContext, FunctionChecker
 from ..annotations.parse import AnnotationProblem
 from ..flags.registry import DEFAULT_FLAGS, Flags
 from ..frontend import cast as A
-from ..frontend.parser import Parser
-from ..frontend.preprocessor import Preprocessor
+from ..frontend.lexer import LexError
+from ..frontend.parser import ParseError, Parser
+from ..frontend.preprocessor import PreprocessError, Preprocessor
 from ..frontend.source import SourceManager
+from .faults import (
+    FatalError,
+    frontend_fatal,
+    internal_fatal,
+    write_crash_bundle,
+)
 from ..frontend.symtab import SymbolTable
 from ..frontend.tokens import Token
 from ..messages.message import Message, MessageCode
@@ -86,6 +93,23 @@ class ParsedUnit:
     problems: list[AnnotationProblem]
     enum_consts: dict[str, int]
     parse_errors: list = field(default_factory=list)
+    #: Set when the frontend gave up on the whole file (unlexable input,
+    #: a contained internal error, ...); ``unit`` is then empty.
+    fatal_error: FatalError | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when any part of the unit could not be analyzed normally."""
+        return bool(self.parse_errors) or self.fatal_error is not None
+
+
+def failed_parsed_unit(name: str, fatal: FatalError) -> ParsedUnit:
+    """The stand-in for a unit the frontend could not process at all."""
+    unit = A.TranslationUnit(fatal.location, name=name, items=[])
+    return ParsedUnit(
+        unit=unit, controls=[], problems=[], enum_consts={},
+        fatal_error=fatal,
+    )
 
 
 @dataclass
@@ -95,10 +119,18 @@ class UnitCheckOutput:
     Messages are already flag-filtered, suppression-filtered (against the
     unit's own control comments), and sorted. Outputs from several units
     merge into a program-level result with :func:`merge_unit_outputs`.
+
+    ``degraded`` marks a result produced under fault containment (parse
+    recovery, a skipped file, or a contained crash). Degraded results
+    must never be cached as clean: the unit is re-checked on every run.
+    ``internal_errors`` counts contained checker crashes, which drive the
+    CLI's exit status 3.
     """
 
     messages: list[Message]
     suppressed: int = 0
+    degraded: bool = False
+    internal_errors: int = 0
 
 
 def unit_interface(pu: "ParsedUnit") -> SymbolTable:
@@ -132,14 +164,35 @@ def check_parsed_unit(
     symtab: SymbolTable,
     flags: Flags,
     enum_consts: dict[str, int] | None = None,
+    crash_dir: str | None = None,
 ) -> UnitCheckOutput:
     """Check one parsed unit against a merged interface.
 
     This is a pure function of its inputs (no module-global state beyond
     the immutable prelude parse), which is what makes per-unit results
     cacheable and lets pool workers check units independently.
+
+    Analysis faults are contained per function: an unexpected exception
+    while checking one function becomes an ``internal-error`` message
+    plus a crash bundle under *crash_dir*, and the remaining functions
+    of the unit are still checked.
     """
     reporter = Reporter(flags=flags)
+    degraded = pu.degraded
+    internal_errors = 0
+    if pu.fatal_error is not None:
+        fatal = pu.fatal_error
+        if fatal.kind == "internal":
+            internal_errors += 1
+            reporter.report(
+                MessageCode.INTERNAL_ERROR, fatal.location, fatal.description
+            )
+        else:
+            reporter.report(
+                MessageCode.PARSE_ERROR, fatal.location,
+                f"Cannot parse this file: {fatal.description} "
+                f"(file skipped)",
+            )
     for problem in pu.problems:
         reporter.report(
             MessageCode.ANNOTATION_PROBLEM, problem.location,
@@ -156,12 +209,32 @@ def check_parsed_unit(
         enum_consts=dict(enum_consts or {}),
     )
     for fdef in pu.unit.functions():
-        FunctionChecker(ctx, fdef).check()
+        try:
+            FunctionChecker(ctx, fdef).check()
+        except Exception as exc:
+            degraded = True
+            internal_errors += 1
+            write_crash_bundle(
+                crash_dir, phase="check", unit=pu.unit.name,
+                function=fdef.name, exc=exc,
+            )
+            # Only the exception *type* goes into the message: reprs can
+            # embed object addresses, and message text must be identical
+            # between serial and parallel runs. The full detail lives in
+            # the crash bundle.
+            reporter.report(
+                MessageCode.INTERNAL_ERROR, fdef.location,
+                f"Internal error ({type(exc).__name__}) while checking "
+                f"function '{fdef.name}' (function skipped; rest of the "
+                f"unit still checked)",
+            )
     table = SuppressionTable.from_controls(pu.controls)
     reporter.apply_suppressions(table)
     return UnitCheckOutput(
         messages=reporter.sorted_messages(),
         suppressed=reporter.suppressed_count,
+        degraded=degraded,
+        internal_errors=internal_errors,
     )
 
 
@@ -190,12 +263,24 @@ def merge_unit_outputs(
 
 @dataclass
 class CheckResult:
-    """The outcome of a checking run."""
+    """The outcome of a checking run.
+
+    ``degraded_units`` names the translation units whose results were
+    produced under fault containment (parse recovery, skipped files,
+    contained crashes); ``internal_errors`` counts contained checker
+    crashes across the run (nonzero drives CLI exit status 3).
+    """
 
     messages: list[Message]
     suppressed: int = 0
     units: list[A.TranslationUnit] = field(default_factory=list)
     symtab: SymbolTable | None = None
+    degraded_units: list[str] = field(default_factory=list)
+    internal_errors: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_units)
 
     def render(self) -> str:
         parts = [m.render() for m in self.messages]
@@ -223,11 +308,13 @@ class Checker:
         flags: Flags | None = None,
         sources: SourceManager | None = None,
         defines: dict[str, str] | None = None,
+        crash_dir: str | None = None,
     ) -> None:
         self.flags = flags or DEFAULT_FLAGS
         self.sources = sources or SourceManager()
         self.defines = dict(PRELUDE_DEFINES)
         self.defines.update(defines or {})
+        self.crash_dir = crash_dir
         self.base_symtab: SymbolTable | None = None
 
     # -- interface libraries (paper section 7: modular checking) -----------
@@ -250,6 +337,29 @@ class Checker:
     # -- parsing ----------------------------------------------------------
 
     def parse_unit(self, text: str, name: str) -> ParsedUnit:
+        """Parse one unit, containing every frontend failure.
+
+        Malformed input (a :class:`LexError`, :class:`PreprocessError`,
+        or a :class:`ParseError` that escaped panic-mode recovery) and
+        unexpected internal exceptions both yield a *failed* unit — an
+        empty translation unit carrying a :class:`FatalError` — instead
+        of aborting the batch. ``check_parsed_unit`` turns the record
+        into a single parse-error / internal-error message.
+        """
+        try:
+            return self._parse_unit_raw(text, name)
+        except (LexError, PreprocessError, ParseError) as exc:
+            return failed_parsed_unit(name, frontend_fatal(exc, name))
+        except Exception as exc:
+            write_crash_bundle(
+                self.crash_dir, phase="parse", unit=name, exc=exc,
+                source_text=text,
+            )
+            return failed_parsed_unit(
+                name, internal_fatal(exc, name, "parsing")
+            )
+
+    def _parse_unit_raw(self, text: str, name: str) -> ParsedUnit:
         pp = Preprocessor(
             self.sources, defines=dict(self.defines), system_headers=SYSTEM_HEADERS
         )
@@ -279,7 +389,9 @@ class Checker:
             enum_consts.update(pu.enum_consts)
 
         outputs = [
-            check_parsed_unit(pu, symtab, self.flags, enum_consts)
+            check_parsed_unit(
+                pu, symtab, self.flags, enum_consts, crash_dir=self.crash_dir
+            )
             for pu in parsed
         ]
         messages, suppressed = merge_unit_outputs(outputs)
@@ -289,6 +401,12 @@ class Checker:
             suppressed=suppressed,
             units=[pu.unit for pu in parsed],
             symtab=symtab,
+            degraded_units=[
+                pu.unit.name
+                for pu, out in zip(parsed, outputs)
+                if out.degraded
+            ],
+            internal_errors=sum(out.internal_errors for out in outputs),
         )
 
     def check_sources(self, files: dict[str, str]) -> CheckResult:
@@ -319,9 +437,10 @@ def check_source(
     name: str = "<string>",
     flags: Flags | None = None,
     extra_sources: dict[str, str] | None = None,
+    crash_dir: str | None = None,
 ) -> CheckResult:
     """Check a single C source string; the common entry point."""
-    checker = Checker(flags=flags)
+    checker = Checker(flags=flags, crash_dir=crash_dir)
     for header, contents in (extra_sources or {}).items():
         checker.sources.add(header, contents)
     return checker.check_units([checker.parse_unit(text, name)])

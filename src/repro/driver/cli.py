@@ -28,9 +28,17 @@ Incremental & parallel checking (see docs/internals.md):
                             --cache-dir, --no-cache)
 
 Header files named on the command line are registered for ``#include``
-resolution; every other file is checked as a translation unit. Exit
-status is the number of code warnings (capped at 125), mirroring batch
-use in build systems.
+resolution; every other file is checked as a translation unit.
+
+Exit-code contract (stable; build systems may rely on it):
+
+    0   clean — no warnings
+    1   warnings were emitted (including parse-error messages for
+        malformed inputs; the rest of the batch is still checked)
+    2   usage or input error (unknown flag, unreadable file, ...)
+    3   an internal checker error was contained — the run completed,
+        a crash bundle was written under the cache's ``crashes/``
+        directory, and all other results are valid
 """
 
 from __future__ import annotations
@@ -40,11 +48,14 @@ import sys
 from ..analysis.cfg import build_cfg
 from ..flags.registry import FLAG_REGISTRY, Flags, UnknownFlag
 from ..core.api import Checker, CheckResult
-from ..frontend.lexer import LexError
-from ..frontend.parser import ParseError
-from ..frontend.preprocessor import PreprocessError
 
 USAGE = __doc__ or ""
+
+#: Exit statuses of the contract above.
+EXIT_CLEAN = 0
+EXIT_WARNINGS = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL_CONTAINED = 3
 
 #: Engine statistics of the most recent incremental run (None when the
 #: classic one-shot path ran). The daemon reads this to report per-request
@@ -193,6 +204,8 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
     out: list[str] = []
     stats = None
 
+    from .library import LibraryError
+
     try:
         # --profile needs the instrumented engine even without a cache.
         if cache is not None or jobs > 1 or want_profile:
@@ -218,8 +231,8 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
             for lib in load_paths:
                 checker.load_library(lib)
             result = checker.check_sources(files)
-    except (LexError, ParseError, PreprocessError) as exc:
-        raise CliError(f"cannot check input: {exc}") from exc
+    except LibraryError as exc:
+        raise CliError(str(exc)) from exc
     except OSError as exc:
         raise CliError(str(exc)) from exc
 
@@ -240,6 +253,12 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
     if want_profile and stats is not None:
         out.append(stats.render_profile())
 
+    if result.internal_errors and not quiet:
+        out.append(
+            f"pylclint: {result.internal_errors} internal error(s) contained "
+            f"(crash bundle(s) written; run completed)"
+        )
+
     if not quiet:
         out.append(f"{len(result.messages)} code warning(s)")
 
@@ -251,7 +270,16 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
         if not quiet:
             out.append(f"interface library written to {dump_path}")
 
-    return min(len(result.messages), 125), "\n".join(out)
+    return _exit_status(result), "\n".join(out)
+
+
+def _exit_status(result: CheckResult) -> int:
+    """Map a completed run onto the documented exit-code contract."""
+    if result.internal_errors:
+        return EXIT_INTERNAL_CONTAINED
+    if result.messages:
+        return EXIT_WARNINGS
+    return EXIT_CLEAN
 
 
 def _parse_jobs(value: str) -> int:

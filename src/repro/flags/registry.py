@@ -51,6 +51,7 @@ _register("aliasunique", True, "unique parameter aliasing checking", "aliasing")
 _register("observertrans", True, "modification of observer storage", "exposure")
 _register("annotations", True, "malformed or incompatible annotations", "annotations")
 _register("syntax", True, "syntax errors (parsing continues at the next declaration)", "annotations")
+_register("internal", True, "contained internal checker errors (a crash bundle is always written)", "annotations")
 _register("paramuse", True, "interface checking of call arguments", "interfaces")
 _register("globstate", True, "global variable state checking at interfaces", "interfaces")
 _register("mods", True, "modification checking against modifies clauses", "interfaces")

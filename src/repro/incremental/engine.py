@@ -32,12 +32,19 @@ from ..core.api import (
     UnitCheckOutput,
     build_program_symtab,
     check_parsed_unit,
+    failed_parsed_unit,
     merge_unit_outputs,
     unit_interface,
 )
+from ..core.faults import (
+    frontend_fatal,
+    internal_fatal,
+    write_crash_bundle,
+)
 from ..flags.registry import DEFAULT_FLAGS, Flags
-from ..frontend.parser import Parser
-from ..frontend.preprocessor import Preprocessor
+from ..frontend.lexer import LexError
+from ..frontend.parser import ParseError, Parser
+from ..frontend.preprocessor import PreprocessError, Preprocessor
 from ..frontend.source import SourceManager
 from ..frontend.symtab import SymbolTable
 from ..frontend.tokens import Token
@@ -76,6 +83,8 @@ class CheckStats:
     memo_misses: int = 0
     jobs: int = 1
     parallel_used: bool = False
+    degraded_units: int = 0
+    internal_errors: int = 0
     notes: list[str] = field(default_factory=list)
 
     def render(self) -> str:
@@ -94,6 +103,12 @@ class CheckStats:
         )
         mode = "parallel" if self.parallel_used else "serial"
         lines.append(f"  schedule:          {mode} (jobs={self.jobs})")
+        if self.degraded_units:
+            lines.append(
+                f"  degraded:          {self.degraded_units} unit(s) "
+                f"(re-checked every run; {self.internal_errors} contained "
+                f"internal error(s))"
+            )
         return "\n".join(lines)
 
     def phase_timings(self) -> dict[str, float]:
@@ -167,6 +182,7 @@ class IncrementalChecker:
         jobs: int = 1,
         defines: dict[str, str] | None = None,
         keep_units: bool = False,
+        crash_dir: str | None = None,
     ) -> None:
         self.flags = flags or DEFAULT_FLAGS
         self.cache = cache
@@ -174,6 +190,11 @@ class IncrementalChecker:
         self.defines = dict(PRELUDE_DEFINES)
         self.defines.update(defines or {})
         self.keep_units = keep_units
+        # Crash bundles live next to the result cache when there is one,
+        # so one directory holds all of a project's checker state.
+        if crash_dir is None and cache is not None:
+            crash_dir = os.path.join(cache.root, "crashes")
+        self.crash_dir = crash_dir
         self.base_symtab: SymbolTable | None = None
         self._library_digests: list[str] = []
         self.stats = CheckStats()
@@ -254,13 +275,17 @@ class IncrementalChecker:
             for plan in misses:
                 self._ensure_parsed(plan, files, sources, stats)
             t_check = time.perf_counter()
-            outputs = check_units_parallel(
+            outputs, par_notes = check_units_parallel(
                 [p.parsed for p in misses], symtab, self.flags,
-                enum_consts, self.jobs,
+                enum_consts, self.jobs, crash_dir=self.crash_dir,
             )
+            stats.notes.extend(par_notes)
             if outputs is None:
                 outputs = [
-                    check_parsed_unit(p.parsed, symtab, self.flags, enum_consts)
+                    check_parsed_unit(
+                        p.parsed, symtab, self.flags, enum_consts,
+                        crash_dir=self.crash_dir,
+                    )
                     for p in misses
                 ]
             else:
@@ -268,18 +293,25 @@ class IncrementalChecker:
             stats.check_s += time.perf_counter() - t_check
             for plan, output in zip(misses, outputs):
                 plan.output = output
-                if self.cache is not None:
+                # Degraded results (parse recovery, skipped files,
+                # contained crashes) are never cached: the unit must be
+                # re-checked from scratch on every run until it is fixed.
+                if self.cache is not None and not output.degraded:
                     self.cache.put_result(
                         plan.fingerprint, output.messages, output.suppressed
                     )
 
         messages, suppressed = merge_unit_outputs([p.output for p in plans])
+        stats.degraded_units = sum(1 for p in plans if p.output.degraded)
+        stats.internal_errors = sum(p.output.internal_errors for p in plans)
         stats.total_s = time.perf_counter() - t_start
         return CheckResult(
             messages=messages,
             suppressed=suppressed,
             units=[p.parsed.unit for p in plans if p.parsed is not None],
             symtab=symtab,
+            degraded_units=[p.name for p in plans if p.output.degraded],
+            internal_errors=stats.internal_errors,
         )
 
     # -- unit identification -------------------------------------------------
@@ -315,10 +347,35 @@ class IncrementalChecker:
         stats: CheckStats,
         memo_key: str | None = None,
     ) -> None:
-        tokens, included = self._preprocess(plan.name, plan.text, sources, stats)
+        try:
+            tokens, included = self._preprocess(
+                plan.name, plan.text, sources, stats
+            )
+        except (LexError, PreprocessError, ParseError) as exc:
+            self._fail_plan(plan, frontend_fatal(exc, plan.name))
+            return
+        except Exception as exc:
+            write_crash_bundle(
+                self.crash_dir, phase="preprocess", unit=plan.name, exc=exc,
+                source_text=plan.text,
+            )
+            self._fail_plan(plan, internal_fatal(exc, plan.name, "preprocessing"))
+            return
         plan.token_digest = token_stream_digest(tokens)
         t0 = time.perf_counter()
-        plan.parsed = self._parse_tokens(tokens, plan.name)
+        try:
+            # ParseError cannot normally escape (panic-mode recovery eats
+            # it inside parse_translation_unit); anything arriving here is
+            # a checker bug and is contained as an internal error.
+            plan.parsed = self._parse_tokens(tokens, plan.name)
+        except Exception as exc:
+            stats.parse_s += time.perf_counter() - t0
+            write_crash_bundle(
+                self.crash_dir, phase="parse", unit=plan.name, exc=exc,
+                source_text=plan.text,
+            )
+            self._fail_plan(plan, internal_fatal(exc, plan.name, "parsing"))
+            return
         stats.parse_s += time.perf_counter() - t0
         plan.enum_consts = dict(plan.parsed.enum_consts)
         plan.interface = unit_interface(plan.parsed)
@@ -340,6 +397,16 @@ class IncrementalChecker:
                     enum_consts=plan.enum_consts,
                 ),
             )
+
+    def _fail_plan(self, plan: _UnitPlan, fatal) -> None:
+        """Fill a plan whose frontend gave up: an empty unit carrying the
+        fatal record, digests derived from the raw text, and no memo
+        entry (the unit must be re-examined from scratch every run)."""
+        plan.parsed = failed_parsed_unit(plan.name, fatal)
+        plan.token_digest = text_digest("unparseable\0" + plan.text)
+        plan.enum_consts = {}
+        plan.interface = unit_interface(plan.parsed)
+        plan.iface_digest = interface_digest(plan.interface, {})
 
     def _preprocess(
         self,

@@ -7,9 +7,18 @@ shared inputs once per worker through the executor initializer; tasks
 then carry only a unit index.
 
 Workers are created with the ``fork`` start method so the parsed prelude
-is inherited for free; on platforms without fork (or on any pool
-failure, e.g. an unpicklable AST node) the caller falls back to serial
-checking, which is always correct.
+is inherited for free. Failure handling is fault-contained rather than
+all-or-nothing:
+
+* if the pool cannot be used at all (no ``fork``, unpicklable state),
+  the caller gets ``None`` plus a note saying *why* serial checking ran;
+* if one worker task dies (a crashed worker process, an exception that
+  escaped per-function containment), only that unit is re-checked
+  serially in the parent — the rest of the pool's results are kept —
+  and the retry is recorded as a note.
+
+``KeyboardInterrupt`` and ``SystemExit`` are deliberately never caught:
+a user interrupt must abort the run, not demote it to serial checking.
 """
 
 from __future__ import annotations
@@ -32,14 +41,16 @@ def _init_worker(payload: bytes) -> None:
     """Runs once in each worker: warm the prelude, unpack shared state."""
     global _WORKER_STATE
     ensure_process_initialized()
-    units, symtab, flags, enum_consts = pickle.loads(payload)
-    _WORKER_STATE = (units, symtab, flags, enum_consts)
+    units, symtab, flags, enum_consts, crash_dir = pickle.loads(payload)
+    _WORKER_STATE = (units, symtab, flags, enum_consts, crash_dir)
 
 
 def _check_unit_task(index: int) -> UnitCheckOutput:
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    units, symtab, flags, enum_consts = _WORKER_STATE
-    return check_parsed_unit(units[index], symtab, flags, enum_consts)
+    units, symtab, flags, enum_consts, crash_dir = _WORKER_STATE
+    return check_parsed_unit(
+        units[index], symtab, flags, enum_consts, crash_dir=crash_dir
+    )
 
 
 def fork_available() -> bool:
@@ -52,26 +63,64 @@ def check_units_parallel(
     flags,
     enum_consts: dict[str, int],
     jobs: int,
-) -> list[UnitCheckOutput] | None:
+    crash_dir: str | None = None,
+) -> tuple[list[UnitCheckOutput] | None, list[str]]:
     """Check *units* on a pool of *jobs* workers, preserving unit order.
 
-    Returns ``None`` when parallel execution is unavailable or fails, so
-    the caller can fall back to serial checking.
+    Returns ``(outputs, notes)``. ``outputs`` is ``None`` when parallel
+    execution never started (the caller should check everything
+    serially); *notes* records every fallback and per-unit retry so the
+    run can report why it did not go fully parallel.
     """
-    if jobs <= 1 or len(units) <= 1 or not fork_available():
-        return None
+    notes: list[str] = []
+    if jobs <= 1 or len(units) <= 1:
+        return None, notes
+    if not fork_available():
+        notes.append(
+            f"parallel checking unavailable (no fork start method on this "
+            f"platform); checked {len(units)} unit(s) serially"
+        )
+        return None, notes
     try:
-        payload = pickle.dumps((units, symtab, flags, enum_consts))
-    except Exception:
-        return None
+        payload = pickle.dumps((units, symtab, flags, enum_consts, crash_dir))
+    except Exception as exc:
+        notes.append(
+            f"parallel checking unavailable (shared state not picklable: "
+            f"{type(exc).__name__}); checked {len(units)} unit(s) serially"
+        )
+        return None, notes
     workers = min(jobs, len(units))
     try:
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=workers,
             mp_context=multiprocessing.get_context("fork"),
             initializer=_init_worker,
             initargs=(payload,),
-        ) as pool:
-            return list(pool.map(_check_unit_task, range(len(units))))
-    except Exception:
-        return None
+        )
+    except Exception as exc:
+        notes.append(
+            f"parallel checking unavailable (cannot start worker pool: "
+            f"{type(exc).__name__}); checked {len(units)} unit(s) serially"
+        )
+        return None, notes
+    outputs: list[UnitCheckOutput] = []
+    with pool:
+        futures = [pool.submit(_check_unit_task, i) for i in range(len(units))]
+        for index, future in enumerate(futures):
+            try:
+                outputs.append(future.result())
+            except Exception as exc:
+                # One dead task (crashed worker, broken pool, exception
+                # past per-function containment) costs one serial
+                # re-check, not the whole pool's work.
+                notes.append(
+                    f"parallel check of {units[index].unit.name} failed "
+                    f"({type(exc).__name__}); re-checked serially"
+                )
+                outputs.append(
+                    check_parsed_unit(
+                        units[index], symtab, flags, enum_consts,
+                        crash_dir=crash_dir,
+                    )
+                )
+    return outputs, notes

@@ -10,8 +10,14 @@ line protocol on stdin/stdout:
   (``-quiet src/a.c``);
 * response — one JSON object per line:
   ``{"id": n, "status": <exit status>, "output": "...", "stats": {...}}``
-  (an ``"error"`` key replaces ``"output"`` for malformed requests);
+  (an ``"error"`` key replaces ``"output"`` for malformed or failed
+  requests; ``status`` follows the CLI exit-code contract — 2 for bad
+  requests/input, 3 for a contained internal error);
 * ``shutdown`` (or EOF) ends the session with a summary line.
+
+The daemon never dies on a request: malformed JSON, oversized lines
+(over :data:`MAX_REQUEST_BYTES`), and internal checker errors all get an
+error reply, and the next request is served normally.
 
 Every request runs with the persistent result cache enabled, so a
 rebuild that re-checks an unchanged file is answered from cache without
@@ -27,6 +33,11 @@ from dataclasses import dataclass, field
 
 from ..core.api import ensure_process_initialized
 from .cache import DEFAULT_CACHE_DIR, ResultCache
+
+#: Hard cap on one request line. A client that streams a huge (or
+#: unterminated) line gets an error reply instead of exhausting memory
+#: or wedging the daemon.
+MAX_REQUEST_BYTES = 1 << 20
 
 
 @dataclass
@@ -82,6 +93,15 @@ class DaemonServer:
     def handle_line(self, line: str) -> dict:
         self.stats.requests += 1
         request_id = self.stats.requests
+        if len(line) > MAX_REQUEST_BYTES:
+            self.stats.errors += 1
+            return {
+                "id": request_id, "status": 2,
+                "error": (
+                    f"request too large ({len(line)} bytes; "
+                    f"limit {MAX_REQUEST_BYTES})"
+                ),
+            }
         try:
             argv = self._parse_request(line)
         except ValueError as exc:
@@ -100,7 +120,7 @@ class DaemonServer:
         except Exception as exc:  # a daemon must survive any one request
             self.stats.errors += 1
             return {
-                "id": request_id, "status": 2,
+                "id": request_id, "status": 3,
                 "error": f"internal error: {type(exc).__name__}: {exc}",
             }
         stats = cli.LAST_RUN_STATS
@@ -115,6 +135,8 @@ class DaemonServer:
                 "cache_misses": stats.cache_misses,
                 "memo_hits": stats.memo_hits,
                 "memo_misses": stats.memo_misses,
+                "degraded_units": stats.degraded_units,
+                "internal_errors": stats.internal_errors,
                 "preprocess_ms": round(stats.preprocess_s * 1000, 3),
                 "parse_ms": round(stats.parse_s * 1000, 3),
                 "check_ms": round(stats.check_s * 1000, 3),

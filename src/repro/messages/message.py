@@ -49,6 +49,7 @@ class MessageCode(enum.Enum):
     RET_VAL_IGNORED = ("ret-val-ignored", "retvalother")
     MODIFIES = ("modifies", "mods")
     PARSE_ERROR = ("parse-error", "syntax")
+    INTERNAL_ERROR = ("internal-error", "internal")
 
     def __init__(self, slug: str, flag: str) -> None:
         self.slug = slug

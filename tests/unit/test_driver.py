@@ -40,7 +40,7 @@ def clean_file(tmp_path):
 class TestCli:
     def test_reports_messages_and_exit_status(self, sample_file):
         status, output = run([sample_file])
-        assert status == 2
+        assert status == 1
         assert "Only storage gname not released" in output
         assert "2 code warning(s)" in output
 
@@ -101,14 +101,17 @@ class TestCli:
         status, _ = run([str(tmp_path / "use.c"), str(tmp_path / "api.h")])
         assert status == 0
 
-    def test_exit_status_capped(self, tmp_path):
+    def test_many_warnings_still_exit_1(self, tmp_path):
+        # The exit code signals *that* there are warnings, not how many:
+        # counts no longer leak into the status (the old cap-at-125
+        # scheme collided with shell signal statuses).
         lines = ["#include <stdlib.h>"]
         for i in range(130):
             lines.append(f"void f{i}(char *p) {{ free(p); }}")
         path = tmp_path / "many.c"
         path.write_text("\n".join(lines))
         status, _ = run(["-quiet", str(path)])
-        assert status == 125
+        assert status == 1
 
 
 class TestLibraries:
@@ -174,11 +177,17 @@ class TestCliErrorHandling:
         assert status == 1
         assert "Parse error" in output
 
-    def test_lex_error_is_a_cli_error(self, tmp_path):
+    def test_lex_error_is_contained_as_a_message(self, tmp_path):
+        # An unlexable file no longer aborts the run: it yields one
+        # parse-error message and the batch continues.
         bad = tmp_path / "broken.c"
         bad.write_text('char *s = "unterminated\n')
-        with pytest.raises(CliError, match="cannot check input"):
-            run([str(bad)])
+        ok = tmp_path / "ok.c"
+        ok.write_text("#include <stdlib.h>\nvoid f(char *p) { free(p); }\n")
+        status, output = run([str(bad), str(ok)])
+        assert status == 1
+        assert "Cannot parse this file" in output
+        assert "implicitly only" in output or "free" in output.lower()
 
     def test_missing_file_is_a_cli_error(self):
         with pytest.raises(CliError, match="cannot read"):
@@ -220,12 +229,12 @@ class TestCliErrorHandling:
 class TestCliIncrementalOptions:
     def test_jobs_option_parses(self, sample_file):
         status, output = run(["--jobs", "2", sample_file])
-        assert status == 2
+        assert status == 1
         assert "Only storage gname not released" in output
 
     def test_jobs_equals_form(self, sample_file):
         status, _ = run(["--jobs=2", sample_file])
-        assert status == 2
+        assert status == 1
 
     def test_jobs_rejects_garbage(self, sample_file):
         with pytest.raises(CliError, match="--jobs"):
@@ -247,7 +256,7 @@ class TestCliIncrementalOptions:
     def test_no_cache_wins(self, sample_file, tmp_path):
         cache_dir = str(tmp_path / "cache")
         status, _ = run(["--cache-dir", cache_dir, "--no-cache", sample_file])
-        assert status == 2
+        assert status == 1
         import os
 
         assert not os.path.isdir(os.path.join(cache_dir, "results"))
@@ -291,3 +300,60 @@ class TestCliTrace:
     def test_trace_unknown_function(self, clean_file):
         with pytest.raises(CliError):
             run(["-trace", "missing", clean_file])
+
+
+class TestExitCodeContract:
+    """The documented contract: 0 clean, 1 warnings, 2 usage/input
+    error, 3 internal error contained."""
+
+    def test_clean_is_0(self, clean_file):
+        status, _ = run([clean_file])
+        assert status == 0
+
+    def test_warnings_are_1(self, sample_file):
+        status, _ = run([sample_file])
+        assert status == 1
+
+    def test_parse_errors_are_warnings(self, tmp_path):
+        bad = tmp_path / "broken.c"
+        bad.write_text("int x = ;\n")
+        status, output = run([str(bad)])
+        assert status == 1
+        assert "Parse error" in output
+
+    def test_usage_errors_are_2(self):
+        from repro.driver.cli import main
+
+        assert main(["/nonexistent/definitely/missing.c"]) == 2
+        assert main(["-notaflag" * 2]) == 2
+
+    def test_contained_internal_error_is_3(self, clean_file, tmp_path,
+                                           monkeypatch):
+        from repro.analysis.checker import FunctionChecker
+
+        def boom(self):
+            raise RuntimeError("injected fault")
+
+        monkeypatch.setattr(FunctionChecker, "check", boom)
+        monkeypatch.chdir(tmp_path)  # crash bundles land under tmp
+        status, output = run([clean_file])
+        assert status == 3
+        assert "Internal error (RuntimeError)" in output
+        assert "internal error(s) contained" in output
+
+    def test_internal_beats_warnings(self, sample_file, tmp_path,
+                                     monkeypatch):
+        from repro.analysis.checker import FunctionChecker
+
+        original = FunctionChecker.check
+
+        def boom(self):
+            raise RuntimeError("injected fault")
+
+        monkeypatch.setattr(FunctionChecker, "check", boom)
+        monkeypatch.chdir(tmp_path)
+        status, _ = run([sample_file])
+        assert status == 3
+        monkeypatch.setattr(FunctionChecker, "check", original)
+        status, _ = run([sample_file])
+        assert status == 1

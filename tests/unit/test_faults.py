@@ -1,0 +1,223 @@
+"""Unit tests for the fault-containment layer: crash bundles, degraded
+unit outputs, and the parallel scheduler's fallback bookkeeping."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.api import (
+    Checker,
+    build_program_symtab,
+    check_parsed_unit,
+    failed_parsed_unit,
+    unit_interface,
+)
+from repro.core.faults import (
+    FatalError,
+    MAX_CRASH_BUNDLES,
+    frontend_fatal,
+    write_crash_bundle,
+)
+from repro.frontend.lexer import LexError
+from repro.frontend.source import Location
+from repro.messages.message import MessageCode
+
+
+def _bundles(directory):
+    if not os.path.isdir(directory):
+        return []
+    return sorted(n for n in os.listdir(directory) if n.endswith(".json"))
+
+
+class TestCrashBundles:
+    def test_bundle_contents(self, tmp_path):
+        crash_dir = str(tmp_path / "crashes")
+        try:
+            raise ValueError("kaboom")
+        except ValueError as exc:
+            path = write_crash_bundle(
+                crash_dir, phase="check", unit="u.c", function="f",
+                exc=exc, source_text="int x;",
+            )
+        assert path is not None and os.path.isfile(path)
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["phase"] == "check"
+        assert payload["unit"] == "u.c"
+        assert payload["function"] == "f"
+        assert payload["exception"] == "ValueError: kaboom"
+        assert "Traceback" in payload["traceback"]
+        assert len(payload["source_digest"]) == 64
+
+    def test_unwritable_directory_returns_none(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        path = write_crash_bundle(
+            str(blocker / "nested"), phase="check", unit="u.c",
+            exc=RuntimeError("x"),
+        )
+        assert path is None
+
+    def test_pruning_caps_bundle_count(self, tmp_path):
+        crash_dir = str(tmp_path / "crashes")
+        os.makedirs(crash_dir)
+        for i in range(MAX_CRASH_BUNDLES + 5):
+            with open(os.path.join(crash_dir, f"crash-0-{i:04d}.json"),
+                      "w") as handle:
+                handle.write("{}")
+        write_crash_bundle(crash_dir, phase="check", unit="u.c",
+                           exc=RuntimeError("x"))
+        assert len(_bundles(crash_dir)) <= MAX_CRASH_BUNDLES
+
+
+class TestFrontendFatals:
+    def test_lex_error_becomes_failed_unit(self):
+        checker = Checker()
+        pu = checker.parse_unit('char *s = "unterminated\n', "bad.c")
+        assert pu.fatal_error is not None
+        assert pu.fatal_error.kind == "frontend"
+        assert pu.degraded
+        assert pu.unit.functions() == []
+
+    def test_failed_unit_reports_one_parse_error(self):
+        fatal = frontend_fatal(
+            LexError("unterminated string", Location("bad.c", 3, 1)), "bad.c"
+        )
+        pu = failed_parsed_unit("bad.c", fatal)
+        symtab = build_program_symtab([unit_interface(pu)])
+        out = check_parsed_unit(pu, symtab, Checker().flags)
+        assert out.degraded
+        assert out.internal_errors == 0
+        parse_errors = [
+            m for m in out.messages if m.code is MessageCode.PARSE_ERROR
+        ]
+        assert len(parse_errors) == 1
+        assert parse_errors[0].location.line == 3
+        assert "unterminated string" in parse_errors[0].text
+
+    def test_internal_fatal_reports_internal_error(self):
+        fatal = FatalError(
+            kind="internal", location=Location("u.c", 1, 0),
+            description="Internal error while parsing this file: "
+                        "RuntimeError: x (file skipped)",
+        )
+        pu = failed_parsed_unit("u.c", fatal)
+        symtab = build_program_symtab([unit_interface(pu)])
+        out = check_parsed_unit(pu, symtab, Checker().flags)
+        assert out.degraded
+        assert out.internal_errors == 1
+        assert [m.code for m in out.messages] == [MessageCode.INTERNAL_ERROR]
+
+
+class TestPerFunctionContainment:
+    def test_one_bad_function_does_not_hide_the_rest(self, tmp_path,
+                                                     monkeypatch):
+        from repro.analysis.checker import FunctionChecker
+
+        original = FunctionChecker.check
+
+        def selective(self):
+            if self.fdef.name == "boom":
+                raise RuntimeError("injected")
+            return original(self)
+
+        monkeypatch.setattr(FunctionChecker, "check", selective)
+        crash_dir = str(tmp_path / "crashes")
+        checker = Checker(crash_dir=crash_dir)
+        pu = checker.parse_unit(
+            "#include <stdlib.h>\n"
+            "void boom(void) { }\n"
+            "void leaky(char *p) { free(p); }\n",
+            "u.c",
+        )
+        symtab = build_program_symtab([unit_interface(pu)])
+        out = check_parsed_unit(pu, symtab, checker.flags,
+                                crash_dir=crash_dir)
+        codes = [m.code for m in out.messages]
+        assert MessageCode.INTERNAL_ERROR in codes
+        assert out.degraded and out.internal_errors == 1
+        # the other function's real warning survived
+        assert any(c is not MessageCode.INTERNAL_ERROR for c in codes)
+        assert _bundles(crash_dir)
+
+    def test_clean_unit_is_not_degraded(self):
+        checker = Checker()
+        pu = checker.parse_unit("int f(int x) { return x; }\n", "u.c")
+        symtab = build_program_symtab([unit_interface(pu)])
+        out = check_parsed_unit(pu, symtab, checker.flags)
+        assert not out.degraded
+        assert out.internal_errors == 0
+
+
+class TestParallelFallback:
+    def _parsed(self, texts):
+        checker = Checker()
+        return [
+            checker.parse_unit(text, f"u{i}.c")
+            for i, text in enumerate(texts)
+        ]
+
+    def test_unpicklable_state_records_reason(self):
+        from repro.incremental.parallel import check_units_parallel
+
+        units = self._parsed(["int f(void) { return 1; }",
+                              "int g(void) { return 2; }"])
+        symtab = build_program_symtab([unit_interface(u) for u in units])
+        outputs, notes = check_units_parallel(
+            units, symtab, Checker().flags,
+            {"bad": lambda: None},  # unpicklable enum_consts
+            jobs=2,
+        )
+        assert outputs is None
+        assert any("not picklable" in note for note in notes)
+
+    def test_single_unit_stays_serial_silently(self):
+        from repro.incremental.parallel import check_units_parallel
+
+        units = self._parsed(["int f(void) { return 1; }"])
+        symtab = build_program_symtab([unit_interface(u) for u in units])
+        outputs, notes = check_units_parallel(
+            units, symtab, Checker().flags, {}, jobs=4
+        )
+        assert outputs is None
+        assert notes == []
+
+    def test_dead_task_is_retried_serially(self, monkeypatch):
+        from repro.incremental import parallel
+
+        if not parallel.fork_available():
+            pytest.skip("needs fork")
+
+        # Workers inherit the monkeypatched task through fork; the
+        # parent retries each unit with the real check function.
+        monkeypatch.setattr(parallel, "_check_unit_task", _die_task)
+        units = self._parsed(["int f(void) { return 1; }",
+                              "int g(void) { return 2; }"])
+        symtab = build_program_symtab([unit_interface(u) for u in units])
+        outputs, notes = parallel.check_units_parallel(
+            units, symtab, Checker().flags, {}, jobs=2
+        )
+        assert outputs is not None and len(outputs) == 2
+        assert all(out is not None for out in outputs)
+        assert len(notes) == 2
+        assert all("re-checked serially" in note for note in notes)
+
+    def test_keyboard_interrupt_propagates(self, monkeypatch):
+        from repro.incremental import parallel
+
+        def interrupt(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(parallel.pickle, "dumps", interrupt)
+        units = self._parsed(["int f(void) { return 1; }",
+                              "int g(void) { return 2; }"])
+        symtab = build_program_symtab([unit_interface(u) for u in units])
+        with pytest.raises(KeyboardInterrupt):
+            parallel.check_units_parallel(
+                units, symtab, Checker().flags, {}, jobs=2
+            )
+
+
+def _die_task(index):
+    raise RuntimeError(f"worker died on {index}")

@@ -124,12 +124,18 @@ CATALOG: dict[MessageCode, tuple[str, Flags]] = {
 }
 
 
+#: INTERNAL_ERROR cannot be triggered from well-defined source alone (it
+#: reports contained checker bugs); it is produced below by fault
+#: injection instead of a source snippet.
+SOURCE_PRODUCIBLE = set(MessageCode) - {MessageCode.INTERNAL_ERROR}
+
+
 class TestCatalogComplete:
     def test_every_code_has_a_snippet(self):
-        assert set(CATALOG) == set(MessageCode)
+        assert set(CATALOG) == SOURCE_PRODUCIBLE
 
     @pytest.mark.parametrize(
-        "code", sorted(MessageCode, key=lambda c: c.slug)
+        "code", sorted(SOURCE_PRODUCIBLE, key=lambda c: c.slug)
     )
     def test_snippet_produces_its_code(self, code):
         source, flags = CATALOG[code]
@@ -140,7 +146,7 @@ class TestCatalogComplete:
         )
 
     @pytest.mark.parametrize(
-        "code", sorted(MessageCode, key=lambda c: c.slug)
+        "code", sorted(SOURCE_PRODUCIBLE, key=lambda c: c.slug)
     )
     def test_every_code_is_flag_controlled(self, code):
         assert code.flag in FLAG_REGISTRY
@@ -148,3 +154,41 @@ class TestCatalogComplete:
         silenced = flags.with_flag(code.flag, False)
         result = check_source(source, "catalog.c", flags=silenced)
         assert code not in [m.code for m in result.messages]
+
+
+class TestInternalErrorCode:
+    """INTERNAL_ERROR, exercised through fault injection."""
+
+    SOURCE = "int f(int x) { return x; }"
+
+    def _inject(self, monkeypatch):
+        from repro.analysis.checker import FunctionChecker
+
+        def boom(self):
+            raise ZeroDivisionError("injected fault")
+
+        monkeypatch.setattr(FunctionChecker, "check", boom)
+
+    def test_produced_under_fault_injection(self, monkeypatch, tmp_path):
+        self._inject(monkeypatch)
+        result = check_source(
+            self.SOURCE, "catalog.c", flags=NOIMP,
+            crash_dir=str(tmp_path / "crashes"),
+        )
+        assert MessageCode.INTERNAL_ERROR in [m.code for m in result.messages]
+
+    def test_flag_controlled(self, monkeypatch, tmp_path):
+        assert MessageCode.INTERNAL_ERROR.flag in FLAG_REGISTRY
+        self._inject(monkeypatch)
+        silenced = NOIMP.with_flag(MessageCode.INTERNAL_ERROR.flag, False)
+        result = check_source(
+            self.SOURCE, "catalog.c", flags=silenced,
+            crash_dir=str(tmp_path / "crashes"),
+        )
+        assert MessageCode.INTERNAL_ERROR not in [
+            m.code for m in result.messages
+        ]
+        # Suppressing the message never suppresses the accounting: the
+        # run still knows it was degraded by a contained crash.
+        assert result.internal_errors == 1
+        assert result.degraded
