@@ -47,16 +47,24 @@ class GeneratedProgram:
         )
 
 
-_ANNOTATION_RE = re.compile(r"/\*@[^*]*@\*/\s?")
+#: Any stylized ``/*@...@*/`` comment: annotations (``/*@only@*/``) and
+#: control comments alike (``/*@ignore@*/``, ``/*@i3@*/``,
+#: ``/*@-mustfree@*/``). The payload may contain ``*`` and ``@`` (only
+#: the closing ``@*/`` terminates it) and may span lines.
+_ANNOTATION_RE = re.compile(r"/\*@(?:[^@]|@(?!\*/))*@\*/[ \t]?", re.DOTALL)
 
 
 def strip_annotations(text: str) -> str:
-    """Remove ``/*@...@*/`` comments (used for the burden experiment).
+    """Remove stylized ``/*@...@*/`` comments (the burden experiment).
 
-    Control comments (``/*@ignore@*/`` etc.) do not occur in generated
-    programs, so a blanket removal is safe here.
+    Both annotation comments and control comments are stripped: difftest
+    mutants and suppression tests contain ``/*@i@*/``-style controls, and
+    an "unannotated" program must not keep its suppressions either. Line
+    structure is preserved — a comment is replaced by the newlines it
+    contained, never by eating the one that follows it — so line-ranged
+    ground truth computed on the annotated text stays valid.
     """
-    return _ANNOTATION_RE.sub("", text)
+    return _ANNOTATION_RE.sub(lambda m: "\n" * m.group(0).count("\n"), text)
 
 
 _UTIL_H = """#ifndef UTIL_H

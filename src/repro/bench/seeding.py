@@ -34,6 +34,19 @@ class BugKind(enum.Enum):
     STATIC_FREE = "static-free"
     OFFSET_FREE = "offset-free"
 
+    @property
+    def error_class(self) -> str:
+        """The detector-neutral error class this plant manifests as.
+
+        ``static-free`` and ``offset-free`` are distinct plant recipes but
+        both surface as an ``invalid-free`` at run time (and as a
+        ``BAD_TRANSFER`` statically), so they share one class; every other
+        kind's value already is its class slug.
+        """
+        if self in (BugKind.STATIC_FREE, BugKind.OFFSET_FREE):
+            return "invalid-free"
+        return self.value
+
 
 #: Static message codes that count as detecting each bug kind.
 STATIC_SIGNATURES: dict[BugKind, set[MessageCode]] = {
@@ -79,8 +92,13 @@ class SeededProgram:
         return [b.scenario for b in self.bugs] + list(self.clean_scenarios)
 
 
-def _bug_body(kind: BugKind, module: int, name: str) -> tuple[str, str]:
-    """Return (helper declarations, scenario body) for one bug kind."""
+def bug_body(kind: BugKind, module: int, name: str) -> tuple[str, str]:
+    """Return (helper declarations, scenario body) for one bug kind.
+
+    The difftest mutation engine splices these same recipes into
+    generator output, so the seeded-program experiment and the
+    fault-injection campaign plant byte-identical bugs.
+    """
     rec = f"rec{module}"
     helpers = ""
     if kind is BugKind.LEAK:
@@ -144,6 +162,10 @@ static /*@null@*/ /*@only@*/ {rec} maybe_{name}(int n)
     return helpers, body
 
 
+#: Backwards-compatible alias (bug_body predates its public use).
+_bug_body = bug_body
+
+
 def _clean_body(module: int, name: str, count: int) -> str:
     rec = f"rec{module}"
     return f"""
@@ -185,7 +207,7 @@ def generate_seeded_program(
         for k in range(bugs_per_kind):
             module = rng.randrange(modules)
             name = f"scenario_{kind.value.replace('-', '_')}_{k}"
-            helpers, body = _bug_body(kind, module, name)
+            helpers, body = bug_body(kind, module, name)
             parts.append(helpers)
             parts.append(f"void {name}(void)\n{{{body}}}\n")
             bugs.append(SeededBug(bug_id, kind, name, "seeded.c"))

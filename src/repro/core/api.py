@@ -296,6 +296,20 @@ class CheckResult:
             out.setdefault(msg.code, []).append(msg)
         return out
 
+    def error_classes(self) -> dict[str, list[Message]]:
+        """Messages grouped by the dynamic memory-error class they evidence.
+
+        Codes with no dynamic counterpart (parse errors, style checks) are
+        omitted; this is the static side of the difftest verdict contract
+        (see :data:`repro.messages.message.MEMORY_ERROR_CLASSES`).
+        """
+        out: dict[str, list[Message]] = {}
+        for msg in self.messages:
+            cls = msg.code.error_class
+            if cls is not None:
+                out.setdefault(cls, []).append(msg)
+        return out
+
     def __len__(self) -> int:
         return len(self.messages)
 

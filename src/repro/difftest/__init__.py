@@ -1,0 +1,67 @@
+"""Differential fault injection: static checker vs. instrumented-heap oracle.
+
+The subsystem plants one labelled memory error per generated program
+variant (:mod:`.mutations`), runs both detectors over it
+(:mod:`.runner`), scores them against ground truth into per-class
+confusion matrices (:mod:`.verdict`), delta-debugs any static
+disagreement down to a minimal reproducer (:mod:`.shrink`), and
+persists the result to a replayable corpus (:mod:`.corpus`).
+:mod:`.campaign` orchestrates the whole loop; :mod:`.cli` exposes it as
+``repro difftest``.
+"""
+
+from .campaign import CampaignConfig, CampaignResult, run_campaign
+from .corpus import (
+    DEFAULT_CORPUS_DIR,
+    CorpusCase,
+    CorpusError,
+    load_case,
+    load_corpus,
+    replay_case,
+    save_case,
+)
+from .mutations import (
+    CAMPAIGN_CLASSES,
+    MutationEngine,
+    MutationError,
+    PlantedBug,
+    Variant,
+)
+from .runner import DualRunner, DualVerdict, ScenarioRun, StaticVerdict
+from .shrink import ShrinkResult, shrink_discrepancy
+from .verdict import (
+    ComparisonOutcome,
+    ConfusionMatrix,
+    Discrepancy,
+    render_matrix,
+    score_verdict,
+)
+
+__all__ = [
+    "CAMPAIGN_CLASSES",
+    "CampaignConfig",
+    "CampaignResult",
+    "ComparisonOutcome",
+    "ConfusionMatrix",
+    "CorpusCase",
+    "CorpusError",
+    "DEFAULT_CORPUS_DIR",
+    "Discrepancy",
+    "DualRunner",
+    "DualVerdict",
+    "MutationEngine",
+    "MutationError",
+    "PlantedBug",
+    "ScenarioRun",
+    "ShrinkResult",
+    "StaticVerdict",
+    "Variant",
+    "load_case",
+    "load_corpus",
+    "render_matrix",
+    "replay_case",
+    "run_campaign",
+    "save_case",
+    "score_verdict",
+    "shrink_discrepancy",
+]

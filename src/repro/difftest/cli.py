@@ -1,0 +1,223 @@
+"""The ``difftest`` subcommand: differential fault injection from the shell.
+
+::
+
+    repro difftest [--seeds N] [--jobs N] [--coverage F]
+                   [--corpus DIR | --no-corpus] [--max-steps N]
+                   [--no-shrink] [-flag | +flag ...]
+    repro difftest --replay [PATH | all] [--corpus DIR]
+
+Campaign mode generates N seeded variants, runs the static checker and
+the instrumented-heap oracle over each, prints the per-class TP/FP/FN
+comparison table, and shrinks + persists every static/ground-truth
+disagreement under the corpus directory.
+
+Replay mode re-runs persisted minimized cases (one file, or every
+``*.json`` in the corpus) and verifies both detectors still produce the
+recorded verdicts.
+
+Exit codes extend the driver's contract:
+
+    0   campaign finished with no surviving discrepancy / all replays
+        reproduced
+    1   at least one static FN/FP survived shrinking (it was minimized
+        and persisted), or a replay diverged from its recording
+    2   usage error
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..flags.registry import Flags, UnknownFlag
+from .campaign import CampaignConfig, run_campaign
+from .corpus import (
+    DEFAULT_CORPUS_DIR,
+    CorpusError,
+    load_case,
+    load_corpus,
+    replay_case,
+)
+from .runner import DualRunner
+
+USAGE = __doc__ or ""
+
+EXIT_OK = 0
+EXIT_DISCREPANT = 1
+EXIT_USAGE = 2
+
+
+class DifftestCliError(Exception):
+    pass
+
+
+def _int_arg(name: str, value: str, minimum: int = 1) -> int:
+    try:
+        out = int(value)
+    except ValueError:
+        raise DifftestCliError(
+            f"{name} expects an integer, got {value!r}"
+        ) from None
+    if out < minimum:
+        raise DifftestCliError(f"{name} expects a value >= {minimum}")
+    return out
+
+
+def _float_arg(name: str, value: str) -> float:
+    try:
+        out = float(value)
+    except ValueError:
+        raise DifftestCliError(
+            f"{name} expects a number, got {value!r}"
+        ) from None
+    if not 0.0 <= out <= 1.0:
+        raise DifftestCliError(f"{name} expects a value in [0, 1]")
+    return out
+
+
+def parse_args(argv: list[str]) -> dict:
+    opts = {
+        "seeds": 50,
+        "jobs": 1,
+        "coverage": 0.5,
+        "corpus": DEFAULT_CORPUS_DIR,
+        "max_steps": 200_000,
+        "shrink": True,
+        "flag_args": [],
+        "replay": None,        # None | 'all' | path
+        "quiet": False,
+    }
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+
+        def _value(name: str) -> str:
+            nonlocal i
+            i += 1
+            if i >= len(argv):
+                raise DifftestCliError(f"{name} requires an argument")
+            return argv[i]
+
+        if arg in ("-h", "--help", "-help"):
+            opts["help"] = True
+            return opts
+        if arg == "--seeds":
+            opts["seeds"] = _int_arg("--seeds", _value("--seeds"))
+        elif arg.startswith("--seeds="):
+            opts["seeds"] = _int_arg("--seeds", arg.split("=", 1)[1])
+        elif arg in ("--jobs", "-j"):
+            opts["jobs"] = _int_arg("--jobs", _value("--jobs"))
+        elif arg.startswith("--jobs="):
+            opts["jobs"] = _int_arg("--jobs", arg.split("=", 1)[1])
+        elif arg == "--coverage":
+            opts["coverage"] = _float_arg("--coverage", _value("--coverage"))
+        elif arg.startswith("--coverage="):
+            opts["coverage"] = _float_arg("--coverage", arg.split("=", 1)[1])
+        elif arg == "--max-steps":
+            opts["max_steps"] = _int_arg("--max-steps", _value("--max-steps"))
+        elif arg.startswith("--max-steps="):
+            opts["max_steps"] = _int_arg("--max-steps", arg.split("=", 1)[1])
+        elif arg == "--corpus":
+            opts["corpus"] = _value("--corpus")
+        elif arg.startswith("--corpus="):
+            opts["corpus"] = arg.split("=", 1)[1]
+        elif arg == "--no-corpus":
+            opts["corpus"] = None
+        elif arg == "--no-shrink":
+            opts["shrink"] = False
+        elif arg == "--replay":
+            # optional operand: a path, or 'all' (default)
+            if i + 1 < len(argv) and not argv[i + 1].startswith(("-", "+")):
+                i += 1
+                opts["replay"] = argv[i]
+            else:
+                opts["replay"] = "all"
+        elif arg == "--quiet":
+            opts["quiet"] = True
+        elif arg.startswith(("-", "+")) and len(arg) > 1:
+            opts["flag_args"].append(arg)   # checker flag passthrough
+        else:
+            raise DifftestCliError(f"unexpected argument {arg!r}")
+        i += 1
+    return opts
+
+
+def _validate_flags(flag_args: list[str]) -> None:
+    try:
+        Flags.from_args(flag_args)
+    except UnknownFlag as exc:
+        raise DifftestCliError(str(exc)) from exc
+
+
+def run_difftest(argv: list[str]) -> tuple[int, str]:
+    """Run the subcommand; returns (exit_status, output_text)."""
+    opts = parse_args(argv)
+    if opts.get("help"):
+        return EXIT_OK, USAGE
+    _validate_flags(opts["flag_args"])
+
+    if opts["replay"] is not None:
+        return _run_replay(opts)
+
+    config = CampaignConfig(
+        seeds=opts["seeds"],
+        jobs=opts["jobs"],
+        coverage=opts["coverage"],
+        max_steps=opts["max_steps"],
+        flag_args=tuple(opts["flag_args"]),
+        corpus_dir=opts["corpus"],
+        shrink=opts["shrink"],
+    )
+    out: list[str] = []
+    progress = None if opts["quiet"] else out.append
+    result = run_campaign(config, progress=progress)
+    out.append(result.render())
+    return (
+        EXIT_OK if result.clean_exit else EXIT_DISCREPANT,
+        "\n".join(out),
+    )
+
+
+def _run_replay(opts: dict) -> tuple[int, str]:
+    runner = DualRunner(
+        flags=(
+            Flags.from_args(opts["flag_args"])
+            if opts["flag_args"] else None
+        ),
+        max_steps=opts["max_steps"],
+    )
+    try:
+        if opts["replay"] == "all":
+            cases = load_corpus(opts["corpus"] or DEFAULT_CORPUS_DIR)
+            if not cases:
+                return EXIT_OK, (
+                    f"no corpus cases under "
+                    f"{opts['corpus'] or DEFAULT_CORPUS_DIR}/"
+                )
+        else:
+            cases = [load_case(opts["replay"])]
+    except CorpusError as exc:
+        raise DifftestCliError(str(exc)) from exc
+    reports = [replay_case(case, runner) for case in cases]
+    out = [report.render() for report in reports]
+    failed = sum(1 for r in reports if not r.reproduced)
+    out.append(
+        f"{len(reports) - failed}/{len(reports)} case(s) reproduced"
+    )
+    return (EXIT_DISCREPANT if failed else EXIT_OK), "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    try:
+        status, output = run_difftest(args)
+    except DifftestCliError as exc:
+        print(f"repro difftest: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if output:
+        print(output)
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""The discrepancy corpus: minimized disagreements, persisted and replayable.
+
+Every discrepancy that survives shrinking is written under
+``difftest-corpus/`` as one self-contained JSON document::
+
+    {
+      "schema": 1,
+      "seed": 137,
+      "direction": "static-fn",          # or "static-fp"
+      "error_class": "use-after-free",
+      "detail": "...human-readable summary...",
+      "scenario": "scenario_0_1",        # the oracle entry point
+      "planted": {...} | null,           # PlantedBug ground truth
+      "window": ["  rec0 head = ...", ...],
+      "files": {"util.h": "...", ...},   # the full minimized program
+      "expected": {
+        "static_classes": {"use-after-free": 1, ...},
+        "static_window_hit": false,
+        "oracle_classes": ["use-after-free"]
+      }
+    }
+
+``replay_case`` re-runs both detectors on the stored files and checks
+the verdicts against ``expected`` — bit-for-bit reproducibility is the
+point: a corpus case is a pinned regression test for the exact
+disagreement it records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from .mutations import PlantedBug, Variant
+from .runner import DualRunner
+from .verdict import Discrepancy
+
+DEFAULT_CORPUS_DIR = "difftest-corpus"
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class CorpusCase:
+    seed: int
+    direction: str
+    error_class: str
+    detail: str
+    scenario: str
+    window: tuple[str, ...]
+    files: dict[str, str]
+    planted: PlantedBug | None
+    expected_static_classes: dict[str, int]
+    expected_static_window_hit: bool
+    expected_oracle_classes: tuple[str, ...]
+    path: str | None = None
+
+    @property
+    def name(self) -> str:
+        return f"case-{self.seed:06d}-{self.error_class}-{self.direction}"
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "seed": self.seed,
+            "direction": self.direction,
+            "error_class": self.error_class,
+            "detail": self.detail,
+            "scenario": self.scenario,
+            "planted": self.planted.to_dict() if self.planted else None,
+            "window": list(self.window),
+            "files": dict(sorted(self.files.items())),
+            "expected": {
+                "static_classes": dict(
+                    sorted(self.expected_static_classes.items())
+                ),
+                "static_window_hit": self.expected_static_window_hit,
+                "oracle_classes": sorted(self.expected_oracle_classes),
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: dict, path: str | None = None) -> "CorpusCase":
+        if data.get("schema") != SCHEMA_VERSION:
+            raise CorpusError(
+                f"unsupported corpus schema {data.get('schema')!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        expected = data["expected"]
+        return CorpusCase(
+            seed=int(data["seed"]),
+            direction=data["direction"],
+            error_class=data["error_class"],
+            detail=data.get("detail", ""),
+            scenario=data["scenario"],
+            window=tuple(data.get("window", [])),
+            files=dict(data["files"]),
+            planted=(
+                PlantedBug.from_dict(data["planted"])
+                if data.get("planted") else None
+            ),
+            expected_static_classes={
+                str(k): int(v)
+                for k, v in expected.get("static_classes", {}).items()
+            },
+            expected_static_window_hit=bool(
+                expected.get("static_window_hit", False)
+            ),
+            expected_oracle_classes=tuple(
+                expected.get("oracle_classes", [])
+            ),
+            path=path,
+        )
+
+
+class CorpusError(Exception):
+    pass
+
+
+def case_from_shrunk(
+    variant: Variant,
+    discrepancy: Discrepancy,
+    runner: DualRunner,
+) -> CorpusCase:
+    """Freeze a minimized variant's verdicts into a corpus case."""
+    static = runner.check_static(variant)
+    oracle = runner.run_scenario(variant, variant.target)
+    return CorpusCase(
+        seed=variant.seed,
+        direction=discrepancy.direction,
+        error_class=discrepancy.error_class,
+        detail=discrepancy.detail,
+        scenario=variant.target,
+        window=tuple(variant.window_lines),
+        files=dict(variant.files),
+        planted=variant.planted,
+        expected_static_classes={
+            k: v for k, v in sorted(static.classes.items())
+        },
+        expected_static_window_hit=static.window_hit,
+        expected_oracle_classes=tuple(oracle.event_classes),
+    )
+
+
+def save_case(case: CorpusCase, corpus_dir: str) -> str:
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, f"{case.name}.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(case.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    case.path = path
+    return path
+
+
+def load_case(path: str) -> CorpusCase:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CorpusError(f"cannot load corpus case {path}: {exc}") from exc
+    return CorpusCase.from_dict(data, path=path)
+
+
+def load_corpus(corpus_dir: str) -> list[CorpusCase]:
+    if not os.path.isdir(corpus_dir):
+        return []
+    cases = []
+    for name in sorted(os.listdir(corpus_dir)):
+        if name.endswith(".json"):
+            cases.append(load_case(os.path.join(corpus_dir, name)))
+    return cases
+
+
+@dataclass
+class ReplayReport:
+    case: CorpusCase
+    reproduced: bool
+    problems: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        status = "reproduced" if self.reproduced else "DIVERGED"
+        lines = [f"{self.case.name}: {status} — {self.case.detail}"]
+        for problem in self.problems:
+            lines.append(f"   {problem}")
+        return "\n".join(lines)
+
+
+def replay_case(case: CorpusCase, runner: DualRunner) -> ReplayReport:
+    """Re-run both detectors on the stored program; compare verdicts."""
+    variant = Variant(
+        seed=case.seed,
+        files=dict(case.files),
+        scenarios=[case.scenario],
+        target=case.scenario,
+        planted=case.planted,
+        window_lines=case.window,
+    )
+    problems: list[str] = []
+    static = runner.check_static(variant)
+    if static.classes != case.expected_static_classes:
+        problems.append(
+            f"static classes changed: expected "
+            f"{case.expected_static_classes}, got {static.classes}"
+        )
+    if static.window_hit != case.expected_static_window_hit:
+        problems.append(
+            f"static window hit changed: expected "
+            f"{case.expected_static_window_hit}, got {static.window_hit}"
+        )
+    oracle = runner.run_scenario(variant, case.scenario)
+    if oracle.failure is not None:
+        problems.append(f"oracle failed: {oracle.failure}")
+    elif tuple(oracle.event_classes) != tuple(case.expected_oracle_classes):
+        problems.append(
+            f"oracle classes changed: expected "
+            f"{list(case.expected_oracle_classes)}, got "
+            f"{oracle.event_classes}"
+        )
+    return ReplayReport(case=case, reproduced=not problems, problems=problems)

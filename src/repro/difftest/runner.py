@@ -1,0 +1,215 @@
+"""The dual runner: one variant, two detectors, structured verdicts.
+
+A variant is parsed once. The static side checks every translation unit
+against the merged interface (:mod:`repro.core.api`) — no execution.
+The dynamic side executes scenario functions one at a time under the
+instrumented-heap interpreter with a step budget; each scenario gets a
+fresh interpreter over the shared ASTs so events attribute cleanly.
+
+Interpreter failures are verdicts, never crashes: an
+:class:`~repro.runtime.interp.InterpreterError`, an exhausted step
+budget, or a blown recursion limit comes back as a
+:class:`ScenarioRun` with a ``failure`` string, and the campaign keeps
+going.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..bench.seeding import (
+    SeededBug,
+    function_line_ranges,
+    match_static_detections,
+)
+from ..core.api import Checker
+from ..flags.registry import DEFAULT_FLAGS, Flags
+from ..frontend.symtab import SymbolTable
+from ..messages.message import Message, MessageCode
+from ..runtime.interp import Interpreter, InterpreterError, StepBudgetExceeded
+from .mutations import Variant
+
+
+@dataclass
+class ScenarioRun:
+    """One scenario executed under the instrumented heap."""
+
+    scenario: str
+    event_kinds: list[str] = field(default_factory=list)   # RuntimeEventKind values
+    event_classes: list[str] = field(default_factory=list)  # error_class slugs
+    exit_code: int = 0
+    steps: int = 0
+    failure: str | None = None   # interpreter gave up; still a verdict
+
+
+@dataclass
+class StaticVerdict:
+    messages: list[Message]
+    classes: dict[str, int]           # error class -> message count
+    window_hit: bool                  # planted signature matched in window
+    parse_errors: int = 0
+    internal_errors: int = 0
+
+
+@dataclass
+class DualVerdict:
+    """Everything the comparer needs about one variant."""
+
+    seed: int
+    planted_class: str | None
+    static: StaticVerdict
+    oracle: ScenarioRun               # the target scenario, always executed
+    runs: list[ScenarioRun]           # the "test suite" subset actually run
+    tested: list[str]                 # scenario names in the test suite
+
+    @property
+    def oracle_classes(self) -> set[str]:
+        return set(self.oracle.event_classes)
+
+    @property
+    def plant_confirmed(self) -> bool:
+        """Did the instrumented heap observe the planted class at all?"""
+        return (
+            self.planted_class is None
+            or self.planted_class in self.oracle.event_classes
+        )
+
+
+class _ParsedVariant:
+    """One parse of a variant, reusable by both detectors."""
+
+    def __init__(self, checker: Checker, parsed: list) -> None:
+        self.checker = checker
+        self.parsed = parsed
+        self.units = [pu.unit for pu in parsed]
+        self.symtab = SymbolTable()
+        self.enum_consts: dict[str, int] = {}
+        for pu in parsed:
+            self.symtab.add_unit(pu.unit)
+            self.enum_consts.update(pu.enum_consts)
+
+
+class DualRunner:
+    """Runs both detectors over variants with shared configuration."""
+
+    def __init__(
+        self,
+        flags: Flags | None = None,
+        max_steps: int = 200_000,
+        max_call_depth: int = 128,
+    ) -> None:
+        self.flags = flags or DEFAULT_FLAGS
+        self.max_steps = max_steps
+        self.max_call_depth = max_call_depth
+
+    # -- parsing (shared by both detectors) -----------------------------
+
+    def _parse(self, files: dict[str, str]) -> _ParsedVariant:
+        checker = Checker(flags=self.flags)
+        for name, text in files.items():
+            if name.endswith(".h"):
+                checker.sources.add(name, text)
+        parsed = [
+            checker.parse_unit(text, name)
+            for name, text in files.items()
+            if not name.endswith(".h")
+        ]
+        return _ParsedVariant(checker, parsed)
+
+    # -- static side ----------------------------------------------------
+
+    def _check_static(
+        self, variant: Variant, pv: _ParsedVariant
+    ) -> StaticVerdict:
+        result = pv.checker.check_units(pv.parsed)
+        classes: dict[str, int] = {}
+        for msg in result.messages:
+            cls = msg.code.error_class
+            if cls is not None:
+                classes[cls] = classes.get(cls, 0) + 1
+        window_hit = False
+        if variant.planted is not None:
+            ranges = function_line_ranges(result.units)
+            probe = SeededBug(
+                0, variant.planted.kind, variant.planted.scenario,
+                variant.planted.file,
+            )
+            window_hit = match_static_detections(
+                [probe], result.messages, ranges
+            )[0]
+        parse_errors = sum(
+            1 for m in result.messages if m.code is MessageCode.PARSE_ERROR
+        )
+        return StaticVerdict(
+            messages=result.messages,
+            classes=classes,
+            window_hit=window_hit,
+            parse_errors=parse_errors,
+            internal_errors=result.internal_errors,
+        )
+
+    def check_static(self, variant: Variant) -> StaticVerdict:
+        return self._check_static(variant, self._parse(variant.files))
+
+    # -- dynamic side ---------------------------------------------------
+
+    def _run_scenario(self, pv: _ParsedVariant, scenario: str) -> ScenarioRun:
+        try:
+            interp = Interpreter(
+                pv.units, pv.symtab, pv.enum_consts,
+                max_steps=self.max_steps,
+                max_call_depth=self.max_call_depth,
+            )
+            result = interp.run(scenario)
+        except (InterpreterError, StepBudgetExceeded, RecursionError) as exc:
+            return ScenarioRun(
+                scenario=scenario,
+                failure=f"{type(exc).__name__}: {exc}",
+            )
+        return ScenarioRun(
+            scenario=scenario,
+            event_kinds=[e.kind.value for e in result.events],
+            event_classes=sorted({e.kind.error_class for e in result.events}),
+            exit_code=result.exit_code,
+            steps=result.steps,
+        )
+
+    def run_scenario(self, variant: Variant, scenario: str) -> ScenarioRun:
+        return self._run_scenario(self._parse(variant.files), scenario)
+
+    # -- both -----------------------------------------------------------
+
+    def test_suite(self, variant: Variant, coverage: float) -> list[str]:
+        """The deterministic, seed-derived 'tests that were written'."""
+        rng = random.Random(0x51ED270 ^ (variant.seed * 2654435761 % 2**31))
+        count = max(0, min(len(variant.scenarios),
+                           round(len(variant.scenarios) * coverage)))
+        return sorted(rng.sample(variant.scenarios, count))
+
+    def run_variant(
+        self, variant: Variant, coverage: float = 0.5
+    ) -> DualVerdict:
+        """Check statically, execute the oracle, execute the test suite.
+
+        The test suite is the paper's knob: a deterministic fraction of
+        the variant's scenarios actually runs under the run-time
+        detector. The oracle always executes the mutation target, so
+        ground truth is observed, not assumed.
+        """
+        pv = self._parse(variant.files)
+        static = self._check_static(variant, pv)
+        oracle = self._run_scenario(pv, variant.target)
+        tested = self.test_suite(variant, coverage)
+        runs = [self._run_scenario(pv, name) for name in tested]
+        return DualVerdict(
+            seed=variant.seed,
+            planted_class=(
+                variant.planted.error_class
+                if variant.planted is not None else None
+            ),
+            static=static,
+            oracle=oracle,
+            runs=runs,
+            tested=tested,
+        )

@@ -17,6 +17,12 @@ Usage follows LCLint's conventions::
     -flags                  list all flags with their defaults
     -quiet                  suppress the summary line
 
+Differential fault injection (see docs/internals.md):
+
+    difftest [...]          as first argument: run the static-vs-dynamic
+                            fault-injection campaign, or --replay a
+                            persisted discrepancy (repro difftest --help)
+
 Incremental & parallel checking (see docs/internals.md):
 
     --jobs N                check translation units on N worker processes
@@ -335,6 +341,10 @@ def _stats_for(result: CheckResult) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "difftest":
+        from ..difftest.cli import main as difftest_main
+
+        return difftest_main(args[1:])
     if "--daemon" in args or "-daemon" in args:
         from ..incremental.server import run_daemon
 

@@ -62,8 +62,38 @@ class MessageCode(enum.Enum):
         except KeyError:
             raise ValueError(f"unknown message code slug {slug!r}") from None
 
+    @property
+    def error_class(self) -> str | None:
+        """The dynamic memory-error class this code evidences, if any.
+
+        See :data:`MEMORY_ERROR_CLASSES` for the vocabulary and caveats.
+        """
+        return MEMORY_ERROR_CLASSES.get(self)
+
 
 _CODE_BY_SLUG: dict[str, MessageCode] = {code.slug: code for code in MessageCode}
+
+
+#: The dynamic memory-error class each static message code evidences, in
+#: the vocabulary of :class:`repro.runtime.heap.RuntimeEventKind` (the
+#: difftest verdict comparer aligns the two detectors through it). The
+#: mapping is canonical one-to-one: ``USE_AFTER_RELEASE`` maps to
+#: ``use-after-free`` even though the checker reports double frees under
+#: the same code (freeing *is* a use of released storage), and
+#: ``BAD_TRANSFER`` maps to ``invalid-free`` even though it also covers
+#: other ownership-transfer errors. Codes with no dynamic counterpart
+#: (style, parse, annotation problems) are absent.
+MEMORY_ERROR_CLASSES: dict[MessageCode, str] = {
+    MessageCode.NULL_DEREF: "null-dereference",
+    MessageCode.USE_BEFORE_DEF: "uninitialized-read",
+    MessageCode.USE_AFTER_RELEASE: "use-after-free",
+    MessageCode.LEAK_OVERWRITE: "leak",
+    MessageCode.LEAK_SCOPE: "leak",
+    MessageCode.LEAK_RETURN: "leak",
+    MessageCode.LEAK_RESULT: "leak",
+    MessageCode.ONLY_NOT_RELEASED: "leak",
+    MessageCode.BAD_TRANSFER: "invalid-free",
+}
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,18 @@ class RuntimeEventKind(enum.Enum):
     OUT_OF_BOUNDS = "out-of-bounds"
     LEAK = "memory-leak"
 
+    @property
+    def error_class(self) -> str:
+        """The detector-neutral error-class slug for this event kind.
+
+        This is the vocabulary the difftest verdict comparer uses to line
+        runtime events up against static message codes (see
+        :data:`repro.messages.message.MEMORY_ERROR_CLASSES`); it differs
+        from ``value`` only where the event name isn't already the class
+        name (``memory-leak`` → ``leak``).
+        """
+        return "leak" if self is RuntimeEventKind.LEAK else self.value
+
 
 @dataclass(frozen=True)
 class RuntimeEvent:

@@ -1,0 +1,7 @@
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden snapshot files instead of comparing",
+    )

@@ -1,0 +1,93 @@
+"""Hash-seed determinism: same seed, same bytes, regardless of process.
+
+Everything seeded in this repo claims replayability: the benchmark
+generator, the checker's message stream, and the difftest campaign. A
+stray ``hash()``-ordered set iteration or string-seeded RNG breaks that
+silently — within one process the output still looks stable. These
+tests run the same work in two fresh subprocesses with *different*
+``PYTHONHASHSEED`` values and require byte-identical output.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _run_snippet(code: str, hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def _both_hash_seeds(code: str) -> tuple[str, str]:
+    return _run_snippet(code, "0"), _run_snippet(code, "4242")
+
+
+GENERATOR_SNIPPET = """
+from repro.bench.generator import generate_program
+program = generate_program(
+    modules=2, filler_functions=2, scenarios_per_module=2, seed=11,
+)
+for name in sorted(program.files):
+    print(f"=== {name} ===")
+    print(program.files[name])
+print(program.functions)
+print(program.scenarios)
+"""
+
+CHECKER_SNIPPET = """
+from repro.bench.seeding import generate_seeded_program
+from repro.core.api import Checker
+seeded = generate_seeded_program(
+    modules=2, bugs_per_kind=1, clean_scenarios=2, seed=5,
+)
+result = Checker().check_sources(seeded.program.files)
+for message in result.messages:
+    print(message.render())
+for bug in seeded.bugs:
+    print(bug.kind.value, bug.scenario)
+"""
+
+DIFFTEST_SNIPPET = """
+from repro.difftest import CampaignConfig, run_campaign
+result = run_campaign(
+    CampaignConfig(seeds=10, jobs=1, corpus_dir=None,
+                   flag_args=("-usereleased",))
+)
+print(result.render())
+for outcome in result.outcomes:
+    print(outcome.seed, outcome.planted_class, outcome.plant_confirmed,
+          [ (d.direction, d.error_class) for d in outcome.discrepancies ])
+for item in result.shrunk:
+    print(item.case.name, list(item.case.window), item.probes)
+"""
+
+
+@pytest.mark.parametrize(
+    "name,snippet",
+    [
+        ("generator", GENERATOR_SNIPPET),
+        ("checker", CHECKER_SNIPPET),
+        ("difftest", DIFFTEST_SNIPPET),
+    ],
+)
+def test_output_is_hash_seed_independent(name, snippet):
+    first, second = _both_hash_seeds(snippet)
+    assert first == second, (
+        f"{name} output depends on PYTHONHASHSEED — a hash-ordered "
+        f"iteration or non-integer RNG seed crept in"
+    )
+    assert first.strip(), f"{name} snippet produced no output"

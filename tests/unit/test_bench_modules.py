@@ -48,6 +48,39 @@ class TestGenerator:
         assert "keep me" in stripped
         assert "char *g;" in stripped
 
+    def test_strip_annotations_strips_control_comments(self):
+        # control comments are annotations too: an unannotated program
+        # must not retain suppressions or checking-mode switches
+        text = (
+            "/*@ignore@*/\nchar *p = q;\n/*@end@*/\n"
+            "/*@access mstring@*/\nint x;\n/*@-null@*/\nint y;\n"
+        )
+        stripped = strip_annotations(text)
+        assert "/*@" not in stripped
+        assert "char *p = q;" in stripped
+        assert "int x;" in stripped and "int y;" in stripped
+
+    def test_strip_annotations_preserves_line_structure(self):
+        # line numbers in messages must stay comparable before and after
+        # stripping, including for multi-line annotation payloads
+        text = "int a;\n/*@null@*/ char *b;\n/*@access\n  mstring@*/\nint c;\n"
+        stripped = strip_annotations(text)
+        assert stripped.count("\n") == text.count("\n")
+        assert stripped.splitlines()[4] == "int c;"
+
+    def test_strip_annotations_handles_stars_and_ats_in_payload(self):
+        text = "/*@only@*/ char **pp;\n/*@observer *p @*/ int z;\n"
+        stripped = strip_annotations(text)
+        assert "/*@" not in stripped and "@*/" not in stripped
+        assert "char **pp;" in stripped
+        assert "int z;" in stripped
+
+    def test_strip_annotations_is_idempotent_and_total(self):
+        for text in ("", "int x;\n", "/*@null@*/", "/* plain */ /*@out@*/"):
+            once = strip_annotations(text)
+            assert strip_annotations(once) == once
+            assert "/*@" not in once
+
     def test_stripped_program_draws_messages(self):
         program = generate_program(modules=2, filler_functions=1,
                                    scenarios_per_module=1)
