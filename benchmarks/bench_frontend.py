@@ -43,9 +43,15 @@ from repro.frontend.lexer import lexer_engine, reference_tokenize, tokenize
 from repro.frontend.source import SourceFile
 from repro.incremental import IncrementalChecker, ResultCache
 from repro.incremental.fingerprint import token_stream_digest
+from repro.obs.trace import NULL_TRACER
 
 #: The regex lexer must beat the seed (reference) scanner by this much.
 REQUIRED_SPEEDUP = 3.0
+
+#: A run with the default (sink-less, measuring) tracer must stay within
+#: this factor of a run with tracing compiled out entirely (NULL_TRACER):
+#: observability off may not cost more than 5%.
+MAX_OBS_OVERHEAD = 1.05
 
 #: Absolute cold-lex throughput floor (MB/s), deliberately conservative
 #: so a loaded CI machine does not flake; local runs land far above it.
@@ -163,6 +169,35 @@ def measure_phase_profile(rounds: int = 3) -> dict:
     }
 
 
+def measure_obs_overhead(rounds: int = 5) -> dict:
+    """Disabled-path cost of the observability layer on examples/db.
+
+    Interleaved best-of-N: each round times one cacheless check with the
+    inert :data:`NULL_TRACER` and one with the engine's default sink-less
+    measuring tracer (the path every un-traced run takes). The ratio of
+    the minima is the overhead of having the span plumbing in place.
+    """
+    files = db_sources()
+    baseline_s = float("inf")
+    default_s = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        IncrementalChecker(tracer=NULL_TRACER).check_sources(dict(files))
+        baseline_s = min(baseline_s, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        IncrementalChecker().check_sources(dict(files))
+        default_s = min(default_s, time.perf_counter() - t0)
+    ratio = default_s / baseline_s if baseline_s else float("inf")
+    return {
+        "null_tracer_ms": round(baseline_s * 1000, 2),
+        "default_tracer_ms": round(default_s * 1000, 2),
+        "overhead_ratio": round(ratio, 4),
+        "max_overhead_ratio": MAX_OBS_OVERHEAD,
+        "rounds": rounds,
+    }
+
+
 # -- pytest entry points ------------------------------------------------------
 
 
@@ -196,6 +231,15 @@ def test_db_frontend_parity(benchmark, table_printer):
     assert summary["token_streams_identical"]
     assert summary["token_digests_identical"]
     assert summary["messages_identical"]
+
+
+def test_obs_disabled_path_overhead(benchmark, table_printer):
+    summary = benchmark.pedantic(
+        measure_obs_overhead, rounds=1, iterations=1
+    )
+    table_printer("BENCH-FRONTEND: observability disabled-path overhead",
+                  [summary])
+    assert summary["overhead_ratio"] < MAX_OBS_OVERHEAD, summary
 
 
 def test_parse_unit_throughput(benchmark):
@@ -237,11 +281,13 @@ def main(argv=None) -> int:
     speedup = measure_lexer_speedup()
     parity = measure_db_parity()
     profile = measure_phase_profile()
+    obs = measure_obs_overhead()
     report = {
         "benchmark": "cold frontend (regex lexer vs seed reference scanner)",
         "lexer_speedup": speedup,
         "db_parity": parity,
         "phase_profile": profile,
+        "obs_overhead": obs,
     }
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -250,7 +296,9 @@ def main(argv=None) -> int:
         f"cold lex {speedup['reference_ms']}ms (reference) -> "
         f"{speedup['regex_ms']}ms (regex): {speedup['speedup']}x "
         f"(required {REQUIRED_SPEEDUP}x), {speedup['mb_per_s']} MB/s "
-        f"(floor {REQUIRED_MBPS}); wrote {out_path}"
+        f"(floor {REQUIRED_MBPS}); obs overhead "
+        f"{obs['overhead_ratio']}x (cap {MAX_OBS_OVERHEAD}); "
+        f"wrote {out_path}"
     )
     ok = (
         speedup["speedup"] >= REQUIRED_SPEEDUP
@@ -259,6 +307,7 @@ def main(argv=None) -> int:
         and parity["token_digests_identical"]
         and parity["messages_identical"]
         and profile["warm_hits_all_units"]
+        and obs["overhead_ratio"] < MAX_OBS_OVERHEAD
     )
     return 0 if ok else 1
 

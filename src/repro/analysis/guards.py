@@ -41,6 +41,15 @@ class GuardFacts:
         return GuardFacts()
 
 
+def strip_assignments(expr: A.Expr) -> A.Expr:
+    """The value of ``(p = e)`` is whatever ``p`` now holds: a guard on
+    an assignment expression refines the assignment's *target*. This is
+    the ``if ((s = malloc(n)) == NULL)`` idiom."""
+    while isinstance(expr, A.Assign) and expr.op == "=":
+        expr = expr.target
+    return expr
+
+
 def is_null_literal(expr: A.Expr) -> bool:
     """Recognize NULL: literal 0, '\\0', or a cast of one to a pointer."""
     if isinstance(expr, A.IntLit):
@@ -64,6 +73,9 @@ class GuardAnalyzer:
     def __init__(self, resolve_ref, null_predicate) -> None:
         self._resolve_ref = resolve_ref        # (expr) -> Ref | None
         self._null_predicate = null_predicate  # (name) -> 'truenull'|'falsenull'|None
+
+    def _resolve(self, expr: A.Expr) -> Ref | None:
+        return self._resolve_ref(strip_assignments(expr))
 
     def split(self, cond: A.Expr) -> tuple[GuardFacts, GuardFacts]:
         true_facts = GuardFacts.empty()
@@ -109,7 +121,7 @@ class GuardAnalyzer:
             elif is_null_literal(expr.lhs):
                 ptr_side = expr.rhs
             if ptr_side is not None:
-                ref = self._resolve_ref(ptr_side)
+                ref = self._resolve(ptr_side)
                 if ref is not None:
                     if expr.op == "==":  # (p == NULL): true => null
                         true_facts.add(ref, NullState.ISNULL)
@@ -121,7 +133,7 @@ class GuardAnalyzer:
 
         if isinstance(expr, A.Call) and isinstance(expr.func, A.Ident) and expr.args:
             kind = self._null_predicate(expr.func.name)
-            ref = self._resolve_ref(expr.args[0])
+            ref = self._resolve(expr.args[0])
             if kind is not None and ref is not None:
                 if kind == "truenull":  # returns true iff argument is null
                     true_facts.add(ref, NullState.ISNULL)
@@ -131,7 +143,7 @@ class GuardAnalyzer:
             return
 
         # Bare expression used as a truth value: 'if (p)'.
-        ref = self._resolve_ref(expr)
+        ref = self._resolve(expr)
         if ref is not None:
             true_facts.add(ref, NullState.NOTNULL)
             false_facts.add(ref, NullState.ISNULL)

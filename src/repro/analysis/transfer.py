@@ -75,7 +75,8 @@ class ExprMixin:
     Host requirements (provided by FunctionChecker): ``reporter``,
     ``flags``, ``resolve_name``, ``ref_type``, ``declared_annotations``,
     ``effective_alloc_ann``, ``decl_site``, ``describe_ref``,
-    ``signature``, ``handle_call`` and ``materialize_children``.
+    ``signature``, ``handle_call``, ``materialize_children``,
+    ``eval_condition`` and ``_report_merges``.
     """
 
     # -- reference resolution (also used by guard analysis) -----------------
@@ -105,6 +106,11 @@ class ExprMixin:
             return base.deref() if base is not None else None
         if isinstance(expr, A.Cast):
             return self.resolve_ref_quiet(expr.operand, store)
+        if isinstance(expr, A.Assign) and expr.op == "=":
+            # The value of '(p = e)' is whatever p now holds, so a guard
+            # on the assignment expression refines p itself — the
+            # 'if ((s = malloc(n)) == NULL)' idiom (paper section 4).
+            return self.resolve_ref_quiet(expr.target, store)
         return None
 
     # -- use checks --------------------------------------------------------------
@@ -310,9 +316,18 @@ class ExprMixin:
         return Value.plain()
 
     def _eval_ternary(self, expr: A.Ternary, store: Store, want_lvalue: bool) -> Value:
-        self.eval_rvalue(expr.cond, store)
-        then = self.eval_rvalue(expr.then, store)
-        other = self.eval_rvalue(expr.other, store)
+        # The condition guards each arm exactly like an if/else:
+        # 'p ? *p : 0' evaluates '*p' knowing p is not null (Figure 2's
+        # guard recognition, applied at expression granularity).
+        true_store, false_store = self.eval_condition(expr.cond, store)
+        then = self.eval_rvalue(expr.then, true_store)
+        other = self.eval_rvalue(expr.other, false_store)
+        merged_store, reports = true_store.merge(false_store)
+        self._report_merges(reports, expr.location)
+        store.states = merged_store.states
+        store.aliases = merged_store.aliases
+        store.sites = merged_store.sites
+        store.unreachable = merged_store.unreachable
         merged, _ = then.state.merged(other.state)
         return Value(merged, ctype=then.ctype or other.ctype)
 

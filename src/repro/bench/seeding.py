@@ -166,6 +166,92 @@ static /*@null@*/ /*@only@*/ {rec} maybe_{name}(int n)
 _bug_body = bug_body
 
 
+#: Guard idioms that historically drew false positives (?: arms checked
+#: against the unguarded store; assignment-in-condition results not
+#: refined by the comparison). Each entry is a *clean* scenario recipe —
+#: no static message and no runtime event is correct — so a regression
+#: in guard analysis shows up as a static-fp discrepancy in the
+#: differential campaign instead of only in unit tests.
+GUARD_CLEAN_IDIOMS: tuple[str, ...] = (
+    "ternary-guard-and",    # (p != NULL && ...) ? use p : fallback
+    "ternary-truth",        # p ? use p : fallback
+    "assign-cond-eq",       # if ((p = malloc(..)) == NULL) return;
+    "assign-cond-ne",       # if ((p = malloc(..)) != NULL) { use p }
+)
+
+
+def guard_clean_body(idiom: str, module: int, name: str) -> tuple[str, str]:
+    """Return (helper declarations, scenario body) for one clean guard
+    idiom from :data:`GUARD_CLEAN_IDIOMS`.
+
+    Every body frees what it allocates and never reads memory it has not
+    written, so both the static checker and the instrumented heap must
+    stay silent on it.
+    """
+    rec = f"rec{module}"
+    maybe_helper = f"""
+static /*@null@*/ /*@only@*/ {rec} opt_{name}(int n)
+{{
+  if (n > 0) {{
+    return {rec}_create("opt", n);
+  }}
+  return NULL;
+}}
+"""
+    if idiom == "ternary-guard-and":
+        helpers = maybe_helper
+        body = f"""
+  {rec} r;
+  int v;
+  r = opt_{name}(3);
+  v = (r != NULL && r->count > 0) ? r->count : 0;
+  printf("{name}: %d\\n", v);
+  if (r != NULL) {{
+    {rec}_destroy(r);
+  }}
+"""
+    elif idiom == "ternary-truth":
+        helpers = maybe_helper
+        body = f"""
+  {rec} r;
+  int v;
+  r = opt_{name}(2);
+  v = r ? r->count : 0;
+  printf("{name}: %d\\n", v);
+  if (r != NULL) {{
+    {rec}_destroy(r);
+  }}
+"""
+    elif idiom == "assign-cond-eq":
+        helpers = ""
+        body = f"""
+  char *s;
+  if ((s = (char *) malloc(4)) == NULL) {{
+    return;
+  }}
+  s[0] = 'x';
+  s[1] = 0;
+  printf("{name}: %s\\n", s);
+  free(s);
+"""
+    elif idiom == "assign-cond-ne":
+        helpers = ""
+        body = f"""
+  char *t;
+  int v;
+  v = 0;
+  if ((t = (char *) malloc(4)) != NULL) {{
+    t[0] = 'y';
+    v = 1;
+    free(t);
+  }}
+  printf("{name}: %d\\n", v);
+"""
+    else:
+        raise ValueError(f"unknown guard idiom {idiom!r}")
+    return helpers, body
+
+
 def _clean_body(module: int, name: str, count: int) -> str:
     rec = f"rec{module}"
     return f"""

@@ -38,6 +38,7 @@ from ..frontend.tokens import Token
 from ..messages.message import Message, MessageCode
 from ..messages.reporter import Reporter
 from ..messages.suppress import SuppressionTable
+from ..obs.trace import NULL_TRACER
 from ..stdlib.specs import (
     PRELUDE_DEFINES,
     PRELUDE_NAME,
@@ -165,12 +166,16 @@ def check_parsed_unit(
     flags: Flags,
     enum_consts: dict[str, int] | None = None,
     crash_dir: str | None = None,
+    tracer=NULL_TRACER,
 ) -> UnitCheckOutput:
     """Check one parsed unit against a merged interface.
 
     This is a pure function of its inputs (no module-global state beyond
     the immutable prelude parse), which is what makes per-unit results
-    cacheable and lets pool workers check units independently.
+    cacheable and lets pool workers check units independently. The
+    *tracer* is measurement only — it never changes the output — and
+    per-function spans are emitted only when a trace sink is attached
+    (``tracer.emitting``), so the default path stays free.
 
     Analysis faults are contained per function: an unexpected exception
     while checking one function becomes an ``internal-error`` message
@@ -210,7 +215,14 @@ def check_parsed_unit(
     )
     for fdef in pu.unit.functions():
         try:
-            FunctionChecker(ctx, fdef).check()
+            if tracer.emitting:
+                with tracer.span(
+                    "function", cat="function",
+                    function=fdef.name, unit=pu.unit.name,
+                ):
+                    FunctionChecker(ctx, fdef).check()
+            else:
+                FunctionChecker(ctx, fdef).check()
         except Exception as exc:
             degraded = True
             internal_errors += 1
@@ -323,12 +335,14 @@ class Checker:
         sources: SourceManager | None = None,
         defines: dict[str, str] | None = None,
         crash_dir: str | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.flags = flags or DEFAULT_FLAGS
         self.sources = sources or SourceManager()
         self.defines = dict(PRELUDE_DEFINES)
         self.defines.update(defines or {})
         self.crash_dir = crash_dir
+        self.tracer = tracer
         self.base_symtab: SymbolTable | None = None
 
     # -- interface libraries (paper section 7: modular checking) -----------
@@ -395,19 +409,21 @@ class Checker:
     # -- checking -------------------------------------------------------------
 
     def check_units(self, parsed: list[ParsedUnit]) -> CheckResult:
-        symtab = build_program_symtab(
-            [unit_interface(pu) for pu in parsed], self.base_symtab
-        )
-        enum_consts: dict[str, int] = {}
-        for pu in parsed:
-            enum_consts.update(pu.enum_consts)
-
-        outputs = [
-            check_parsed_unit(
-                pu, symtab, self.flags, enum_consts, crash_dir=self.crash_dir
+        with self.tracer.span("batch", cat="batch", units=len(parsed)):
+            symtab = build_program_symtab(
+                [unit_interface(pu) for pu in parsed], self.base_symtab
             )
-            for pu in parsed
-        ]
+            enum_consts: dict[str, int] = {}
+            for pu in parsed:
+                enum_consts.update(pu.enum_consts)
+
+            outputs = []
+            for pu in parsed:
+                with self.tracer.span("unit", cat="unit", unit=pu.unit.name):
+                    outputs.append(check_parsed_unit(
+                        pu, symtab, self.flags, enum_consts,
+                        crash_dir=self.crash_dir, tracer=self.tracer,
+                    ))
         messages, suppressed = merge_unit_outputs(outputs)
 
         return CheckResult(

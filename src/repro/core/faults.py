@@ -37,6 +37,7 @@ import traceback
 from dataclasses import dataclass
 
 from ..frontend.source import Location
+from ..obs.metrics import GLOBAL_METRICS
 
 #: Where crash bundles go when no cache directory is configured.
 DEFAULT_CRASH_DIR = os.path.join(".pylclint-cache", "crashes")
@@ -155,8 +156,10 @@ def write_crash_bundle(
             handle.write("\n")
         os.replace(tmp, path)
         _prune_bundles(directory)
+        GLOBAL_METRICS.inc("crashes.bundles.written")
         return path
     except OSError:
+        GLOBAL_METRICS.inc("crashes.bundles.failed")
         return None
 
 

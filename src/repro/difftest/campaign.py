@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from ..core.api import ensure_process_initialized
 from ..flags.registry import Flags
+from ..obs.metrics import GLOBAL_METRICS
 from .corpus import (
     DEFAULT_CORPUS_DIR,
     CorpusCase,
@@ -224,9 +225,11 @@ def _run_seeds_parallel(
 def run_campaign(
     config: CampaignConfig,
     progress=None,
+    metrics=None,
 ) -> CampaignResult:
     """Execute a full campaign; *progress* is an optional callable(str)."""
     notes: list[str] = []
+    metrics = metrics if metrics is not None else GLOBAL_METRICS
     engine = config.engine()
     runner = config.runner()
 
@@ -283,7 +286,7 @@ def run_campaign(
                 path=path,
             ))
 
-    return CampaignResult(
+    result = CampaignResult(
         config=config,
         static_matrix=static_matrix,
         runtime_matrix=runtime_matrix,
@@ -291,3 +294,16 @@ def run_campaign(
         shrunk=shrunk,
         notes=notes,
     )
+    metrics.inc("difftest.variants", len(outcomes))
+    metrics.inc("difftest.variants.clean", result.clean_count)
+    metrics.inc("difftest.variants.planted", result.planted_count)
+    metrics.inc("difftest.discrepancies", result.discrepancy_count)
+    for matrix in (static_matrix, runtime_matrix):
+        total = matrix.total()
+        for verdict_kind in ("tp", "fp", "fn", "tn"):
+            count = getattr(total, verdict_kind)
+            if count:
+                metrics.inc(
+                    f"difftest.{matrix.detector}.{verdict_kind}", count
+                )
+    return result

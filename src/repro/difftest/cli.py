@@ -4,7 +4,7 @@
 
     repro difftest [--seeds N] [--jobs N] [--coverage F]
                    [--corpus DIR | --no-corpus] [--max-steps N]
-                   [--no-shrink] [-flag | +flag ...]
+                   [--no-shrink] [--metrics-out FILE] [-flag | +flag ...]
     repro difftest --replay [PATH | all] [--corpus DIR]
 
 Campaign mode generates N seeded variants, runs the static checker and
@@ -15,6 +15,9 @@ disagreement under the corpus directory.
 Replay mode re-runs persisted minimized cases (one file, or every
 ``*.json`` in the corpus) and verifies both detectors still produce the
 recorded verdicts.
+
+``--metrics-out FILE`` writes a JSON dump of the metrics registry after
+the campaign (variant/discrepancy counts, per-detector verdict totals).
 
 Exit codes extend the driver's contract:
 
@@ -86,6 +89,7 @@ def parse_args(argv: list[str]) -> dict:
         "flag_args": [],
         "replay": None,        # None | 'all' | path
         "quiet": False,
+        "metrics_out": None,
     }
     i = 0
     while i < len(argv):
@@ -123,6 +127,10 @@ def parse_args(argv: list[str]) -> dict:
             opts["corpus"] = arg.split("=", 1)[1]
         elif arg == "--no-corpus":
             opts["corpus"] = None
+        elif arg == "--metrics-out":
+            opts["metrics_out"] = _value("--metrics-out")
+        elif arg.startswith("--metrics-out="):
+            opts["metrics_out"] = arg.split("=", 1)[1]
         elif arg == "--no-shrink":
             opts["shrink"] = False
         elif arg == "--replay":
@@ -172,6 +180,10 @@ def run_difftest(argv: list[str]) -> tuple[int, str]:
     progress = None if opts["quiet"] else out.append
     result = run_campaign(config, progress=progress)
     out.append(result.render())
+    if opts["metrics_out"] is not None:
+        from ..obs.metrics import GLOBAL_METRICS
+
+        GLOBAL_METRICS.dump_json(opts["metrics_out"])
     return (
         EXIT_OK if result.clean_exit else EXIT_DISCREPANT,
         "\n".join(out),

@@ -8,7 +8,11 @@ use-after-free, double free, invalid free, uninitialized read, leak).
 The mutation carries machine-readable ground truth: the planted error
 class, the containing function, and the line window of the spliced
 statements. A fraction of variants stays clean so false positives are
-measurable.
+measurable; clean controls cycle between the unmutated program and the
+guard idioms of :data:`repro.bench.seeding.GUARD_CLEAN_IDIOMS` (``?:``
+with a null guard, assignment-in-condition), which once drew spurious
+null-dereference messages — a guard-analysis regression resurfaces as a
+static-fp discrepancy in any campaign.
 
 The statement window doubles as the shrinking substrate: the
 delta-debugging shrinker re-emits the same variant with subsets of the
@@ -25,7 +29,12 @@ import random
 from dataclasses import dataclass, field, replace
 
 from ..bench.generator import GeneratedProgram, generate_program
-from ..bench.seeding import BugKind, bug_body
+from ..bench.seeding import (
+    GUARD_CLEAN_IDIOMS,
+    BugKind,
+    bug_body,
+    guard_clean_body,
+)
 
 #: The error classes a campaign plants and scores, mirroring
 #: :class:`repro.runtime.heap.RuntimeEventKind` (out-of-bounds is not
@@ -164,13 +173,34 @@ class MutationEngine:
         target = rng.choice(base.scenarios)
         files = dict(base.files)
         if self.clean_every > 0 and seed % self.clean_every == self.clean_every - 1:
-            _, open_at, close_at = function_span(files["driver.c"], target)
-            window = tuple(
-                files["driver.c"].split("\n")[open_at + 1 : close_at]
+            # Clean controls cycle deterministically between the plain
+            # unmutated program and the guard-idiom recipes, so every
+            # campaign probes the idioms that historically drew false
+            # positives (?: arms, assignment-in-condition).
+            choice = (seed // self.clean_every) % (1 + len(GUARD_CLEAN_IDIOMS))
+            if choice == 0:
+                _, open_at, close_at = function_span(files["driver.c"], target)
+                window = tuple(
+                    files["driver.c"].split("\n")[open_at + 1 : close_at]
+                )
+                return Variant(
+                    seed=seed, files=files, scenarios=list(base.scenarios),
+                    target=target, planted=None, window_lines=window,
+                )
+            idiom = GUARD_CLEAN_IDIOMS[choice - 1]
+            module = rng.randrange(self.modules)
+            helpers, body = guard_clean_body(idiom, module, target)
+            helper_lines = (
+                helpers.strip("\n").split("\n") if helpers.strip() else []
             )
+            body_lines = _body_lines(body)
+            mutated, _, _ = _splice(
+                files["driver.c"], target, helper_lines, body_lines
+            )
+            files["driver.c"] = mutated
             return Variant(
                 seed=seed, files=files, scenarios=list(base.scenarios),
-                target=target, planted=None, window_lines=window,
+                target=target, planted=None, window_lines=tuple(body_lines),
             )
         kind = self.kinds[rng.randrange(len(self.kinds))]
         module = rng.randrange(self.modules)

@@ -17,6 +17,18 @@ Usage follows LCLint's conventions::
     -flags                  list all flags with their defaults
     -quiet                  suppress the summary line
 
+Observability (see docs/internals.md section 8):
+
+    --trace-out FILE        write nested spans (batch > unit > phase >
+                            function) for this run; messages and exit
+                            status are unchanged
+    --trace-format FMT      trace file format: jsonl (default; one JSON
+                            object per span) or chrome (a Chrome
+                            trace-event file for about:tracing/Perfetto)
+    --metrics-out FILE      write a JSON dump of the metrics registry
+                            (cache traffic, dropped entries, degraded
+                            units, scheduler fallbacks) after the run
+
 Differential fault injection (see docs/internals.md):
 
     difftest [...]          as first argument: run the static-vs-dynamic
@@ -125,6 +137,9 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
     quiet = False
     cache_dir: str | None = None
     no_cache = False
+    trace_out: str | None = None
+    trace_format = "jsonl"
+    metrics_out: str | None = None
 
     i = 0
     while i < len(argv):
@@ -178,6 +193,27 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
             cache_dir = DEFAULT_CACHE_DIR
         elif arg in ("--no-cache", "-no-cache"):
             no_cache = True
+        elif arg in ("--trace-out", "-trace-out"):
+            i += 1
+            if i >= len(argv):
+                raise CliError("--trace-out requires a file argument")
+            trace_out = argv[i]
+        elif arg.startswith("--trace-out="):
+            trace_out = arg.split("=", 1)[1]
+        elif arg in ("--trace-format", "-trace-format"):
+            i += 1
+            if i >= len(argv):
+                raise CliError("--trace-format requires a format name")
+            trace_format = argv[i]
+        elif arg.startswith("--trace-format="):
+            trace_format = arg.split("=", 1)[1]
+        elif arg in ("--metrics-out", "-metrics-out"):
+            i += 1
+            if i >= len(argv):
+                raise CliError("--metrics-out requires a file argument")
+            metrics_out = argv[i]
+        elif arg.startswith("--metrics-out="):
+            metrics_out = arg.split("=", 1)[1]
         elif arg == "-stats":
             want_stats = True
         elif arg in ("--profile", "-profile"):
@@ -206,41 +242,69 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
 
         cache = ResultCache(cache_dir)
 
+    if trace_format not in ("jsonl", "chrome"):
+        raise CliError(
+            f"unknown trace format {trace_format!r} "
+            f"(expected jsonl or chrome)"
+        )
+
     files = _read_source_files(paths)
     out: list[str] = []
     stats = None
 
     from .library import LibraryError
 
-    try:
-        # --profile needs the instrumented engine even without a cache.
-        if cache is not None or jobs > 1 or want_profile:
-            from ..incremental.engine import IncrementalChecker
+    obs = None
+    if trace_out is not None or metrics_out is not None:
+        from ..obs.context import Observability
 
-            checker = IncrementalChecker(
-                flags=flags,
-                cache=cache,
-                jobs=jobs,
-                keep_units=(
-                    dot_function is not None or trace_function_name is not None
-                ),
+        try:
+            obs = Observability.from_options(
+                trace_out, trace_format, metrics_out
             )
-            for lib in load_paths:
-                checker.load_library(lib)
-            result = checker.check_sources(files)
-            stats = checker.stats
-            LAST_RUN_STATS = stats
-            for note in stats.notes:
-                out.append(f"pylclint: warning: {note}")
-        else:
-            checker = Checker(flags=flags)
-            for lib in load_paths:
-                checker.load_library(lib)
-            result = checker.check_sources(files)
-    except LibraryError as exc:
-        raise CliError(str(exc)) from exc
-    except OSError as exc:
-        raise CliError(str(exc)) from exc
+        except OSError as exc:
+            raise CliError(str(exc)) from exc
+
+    try:
+        try:
+            # --profile and observability need the instrumented engine
+            # even without a cache.
+            if cache is not None or jobs > 1 or want_profile \
+                    or obs is not None:
+                from ..incremental.engine import IncrementalChecker
+
+                checker = IncrementalChecker(
+                    flags=flags,
+                    cache=cache,
+                    jobs=jobs,
+                    keep_units=(
+                        dot_function is not None
+                        or trace_function_name is not None
+                    ),
+                    tracer=obs.tracer if obs is not None else None,
+                    metrics=obs.metrics if obs is not None else None,
+                )
+                for lib in load_paths:
+                    checker.load_library(lib)
+                result = checker.check_sources(files)
+                stats = checker.stats
+                LAST_RUN_STATS = stats
+                for note in stats.notes:
+                    out.append(f"pylclint: warning: {note}")
+            else:
+                checker = Checker(flags=flags)
+                for lib in load_paths:
+                    checker.load_library(lib)
+                result = checker.check_sources(files)
+        except LibraryError as exc:
+            raise CliError(str(exc)) from exc
+        except OSError as exc:
+            raise CliError(str(exc)) from exc
+    finally:
+        # Flush the trace file and metrics dump even when the run died:
+        # a partial trace of a failed run is exactly what gets debugged.
+        if obs is not None:
+            obs.finish()
 
     for message in result.messages:
         out.append(message.render())

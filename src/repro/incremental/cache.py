@@ -12,8 +12,11 @@ Layout::
 Every load path is corruption-tolerant: a truncated, garbled, or
 version-mismatched file is treated as a miss and discarded, never an
 error — a bad cache can cost time, but it must not change results or
-crash the checker. Writes go through a temp file + ``os.replace`` so a
-killed process cannot leave a half-written entry behind.
+crash the checker. Each discarded entry is counted (``dropped`` /
+``cache.entries.dropped`` in the metrics registry) so corruption is
+diagnosable: the engine surfaces the total as a run note. Writes go
+through a temp file + ``os.replace`` so a killed process cannot leave a
+half-written entry behind.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ import tempfile
 from dataclasses import dataclass, field
 
 from ..messages.message import Message
+from ..obs.metrics import GLOBAL_METRICS
 from .fingerprint import ENGINE_VERSION
 
 DEFAULT_CACHE_DIR = ".pylclint-cache"
@@ -51,9 +55,14 @@ class UnitMemo:
 class ResultCache:
     """On-disk cache of per-unit memos and check results."""
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, metrics=None) -> None:
         self.root = os.path.abspath(root)
         self.notes: list[str] = []
+        self.metrics = metrics if metrics is not None else GLOBAL_METRICS
+        # Corrupt/unreadable entries discarded since the last drain; the
+        # engine turns a non-zero total into a CheckStats note, so cache
+        # corruption is diagnosable instead of silently costing time.
+        self.dropped = 0
         self._ensure_layout()
 
     # -- layout / versioning ------------------------------------------------
@@ -77,8 +86,15 @@ class ResultCache:
                 self._meta_path(), json.dumps(meta).encode("utf-8")
             )
 
+    def drain_dropped(self) -> int:
+        """Return and reset the dropped-entry count for this period."""
+        out = self.dropped
+        self.dropped = 0
+        return out
+
     def _wipe(self) -> None:
         if os.path.isdir(self.root):
+            self.metrics.inc("cache.wipes")
             for entry in os.listdir(self.root):
                 path = os.path.join(self.root, entry)
                 try:
@@ -110,7 +126,11 @@ class ResultCache:
 
     def _read_pickle(self, path: str):
         try:
-            with open(path, "rb") as handle:
+            handle = open(path, "rb")
+        except OSError:
+            return None  # absent entry: a plain miss, not corruption
+        try:
+            with handle:
                 return pickle.load(handle)
         except Exception:
             # Any unpickling failure (truncation, garbage, missing class)
@@ -118,7 +138,12 @@ class ResultCache:
             self._discard(path)
             return None
 
-    def _discard(self, path: str) -> None:
+    def _discard(self, path: str, corrupt: bool = True) -> None:
+        """Remove a cache file; *corrupt* entries are counted so the drop
+        is visible in metrics and run notes (temp-file cleanup is not)."""
+        if corrupt:
+            self.dropped += 1
+            self.metrics.inc("cache.entries.dropped")
         try:
             os.unlink(path)
         except OSError:
@@ -134,7 +159,8 @@ class ResultCache:
                 handle.write(data)
             os.replace(tmp, path)
         except OSError:
-            self._discard(tmp)
+            self.metrics.inc("cache.write.failures")
+            self._discard(tmp, corrupt=False)
 
     def _entry_path(self, kind: str, key: str, suffix: str) -> str:
         if not key or any(ch not in _HEX for ch in key):

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import os
 import pickle
-import time
 from dataclasses import dataclass, field
 
 from ..core.api import (
@@ -48,6 +47,8 @@ from ..frontend.preprocessor import PreprocessError, Preprocessor
 from ..frontend.source import SourceManager
 from ..frontend.symtab import SymbolTable
 from ..frontend.tokens import Token
+from ..obs.metrics import GLOBAL_METRICS
+from ..obs.trace import Tracer
 from ..stdlib.specs import PRELUDE_DEFINES, SYSTEM_HEADERS
 from .cache import ResultCache, UnitMemo
 from .fingerprint import (
@@ -183,10 +184,18 @@ class IncrementalChecker:
         defines: dict[str, str] | None = None,
         keep_units: bool = False,
         crash_dir: str | None = None,
+        tracer: Tracer | None = None,
+        metrics=None,
     ) -> None:
         self.flags = flags or DEFAULT_FLAGS
         self.cache = cache
         self.jobs = max(1, int(jobs))
+        # The engine always runs under a tracer: phase timings for the
+        # --profile table are span durations. Without a sink the tracer
+        # only measures (the same perf_counter pairs the ad-hoc timing
+        # used); per-function spans stay off unless a sink is attached.
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else GLOBAL_METRICS
         self.defines = dict(PRELUDE_DEFINES)
         self.defines.update(defines or {})
         self.keep_units = keep_units
@@ -221,90 +230,141 @@ class IncrementalChecker:
         return self.check_sources(files)
 
     def check_sources(self, files: dict[str, str]) -> CheckResult:
-        t_start = time.perf_counter()
         stats = CheckStats(jobs=self.jobs)
+        metrics = self.metrics
+        metrics.inc("engine.runs")
         if self.cache is not None:
             stats.notes.extend(self.cache.notes)
             del self.cache.notes[:]
         self.stats = stats
 
-        sources = SourceManager()
-        for name, text in files.items():
-            if name.endswith(".h"):
-                sources.add(name, text)
-        unit_names = [n for n in files if not n.endswith(".h")]
-        plans = [_UnitPlan(name=n, text=files[n]) for n in unit_names]
-        stats.units = len(plans)
+        batch_span = self.tracer.span("batch", cat="batch")
+        try:
+            sources = SourceManager()
+            for name, text in files.items():
+                if name.endswith(".h"):
+                    sources.add(name, text)
+            unit_names = [n for n in files if not n.endswith(".h")]
+            plans = [_UnitPlan(name=n, text=files[n]) for n in unit_names]
+            stats.units = len(plans)
+            metrics.inc("engine.units", len(plans))
+            batch_span.annotate(units=len(plans))
 
-        # Phase 1: identify every unit (memo fast path or preprocess+parse).
-        for plan in plans:
-            self._identify_unit(plan, files, sources, stats)
+            # Phase 1: identify every unit (memo fast path or
+            # preprocess+parse).
+            for plan in plans:
+                with self.tracer.span(
+                    "unit", cat="unit", unit=plan.name, stage="frontend"
+                ):
+                    self._identify_unit(plan, files, sources, stats)
 
-        # Phase 2: the program-interface digest over all units + libraries.
-        prog_digest = program_digest(
-            [p.iface_digest for p in plans], self._library_digests
-        )
-        enum_consts: dict[str, int] = {}
-        for plan in plans:
-            enum_consts.update(plan.enum_consts)
-
-        # Phase 3: result-cache lookups.
-        misses: list[_UnitPlan] = []
-        for plan in plans:
-            if self.cache is not None:
-                plan.fingerprint = check_fingerprint(
-                    plan.token_digest, self.flags, prog_digest
-                )
-                plan.cached = self.cache.get_result(plan.fingerprint)
-            if plan.cached is not None:
-                stats.cache_hits += 1
-                plan.output = UnitCheckOutput(
-                    messages=plan.cached[0], suppressed=plan.cached[1]
-                )
-            else:
-                stats.cache_misses += 1
-                misses.append(plan)
-
-        # Phase 4: build the merged symbol table from interface slices.
-        symtab = build_program_symtab(
-            [self._interface_of(p) for p in plans], self.base_symtab
-        )
-
-        # Phase 5: check the misses (parallel when asked and possible).
-        if misses:
-            for plan in misses:
-                self._ensure_parsed(plan, files, sources, stats)
-            t_check = time.perf_counter()
-            outputs, par_notes = check_units_parallel(
-                [p.parsed for p in misses], symtab, self.flags,
-                enum_consts, self.jobs, crash_dir=self.crash_dir,
+            # Phase 2: the program-interface digest over all units +
+            # libraries.
+            prog_digest = program_digest(
+                [p.iface_digest for p in plans], self._library_digests
             )
-            stats.notes.extend(par_notes)
-            if outputs is None:
-                outputs = [
-                    check_parsed_unit(
-                        p.parsed, symtab, self.flags, enum_consts,
-                        crash_dir=self.crash_dir,
-                    )
-                    for p in misses
-                ]
-            else:
-                stats.parallel_used = True
-            stats.check_s += time.perf_counter() - t_check
-            for plan, output in zip(misses, outputs):
-                plan.output = output
-                # Degraded results (parse recovery, skipped files,
-                # contained crashes) are never cached: the unit must be
-                # re-checked from scratch on every run until it is fixed.
-                if self.cache is not None and not output.degraded:
-                    self.cache.put_result(
-                        plan.fingerprint, output.messages, output.suppressed
-                    )
+            enum_consts: dict[str, int] = {}
+            for plan in plans:
+                enum_consts.update(plan.enum_consts)
 
-        messages, suppressed = merge_unit_outputs([p.output for p in plans])
-        stats.degraded_units = sum(1 for p in plans if p.output.degraded)
-        stats.internal_errors = sum(p.output.internal_errors for p in plans)
-        stats.total_s = time.perf_counter() - t_start
+            # Phase 3: result-cache lookups.
+            misses: list[_UnitPlan] = []
+            for plan in plans:
+                if self.cache is not None:
+                    plan.fingerprint = check_fingerprint(
+                        plan.token_digest, self.flags, prog_digest
+                    )
+                    plan.cached = self.cache.get_result(plan.fingerprint)
+                if plan.cached is not None:
+                    stats.cache_hits += 1
+                    metrics.inc("cache.result.hit")
+                    plan.output = UnitCheckOutput(
+                        messages=plan.cached[0], suppressed=plan.cached[1]
+                    )
+                else:
+                    stats.cache_misses += 1
+                    metrics.inc("cache.result.miss")
+                    misses.append(plan)
+
+            # Phase 4: build the merged symbol table from interface slices.
+            symtab = build_program_symtab(
+                [self._interface_of(p) for p in plans], self.base_symtab
+            )
+
+            # Phase 5: check the misses (parallel when asked and possible).
+            if misses:
+                for plan in misses:
+                    if plan.parsed is None:
+                        with self.tracer.span(
+                            "unit", cat="unit", unit=plan.name,
+                            stage="frontend",
+                        ):
+                            self._ensure_parsed(plan, files, sources, stats)
+                check_span = self.tracer.span(
+                    "analyze", cat="phase", units=len(misses)
+                )
+                try:
+                    outputs, par_notes = check_units_parallel(
+                        [p.parsed for p in misses], symtab, self.flags,
+                        enum_consts, self.jobs, crash_dir=self.crash_dir,
+                        metrics=metrics,
+                    )
+                    stats.notes.extend(par_notes)
+                    if outputs is None:
+                        outputs = []
+                        for p in misses:
+                            with self.tracer.span(
+                                "unit", cat="unit", unit=p.name,
+                                stage="analyze",
+                            ) as unit_span:
+                                outputs.append(check_parsed_unit(
+                                    p.parsed, symtab, self.flags, enum_consts,
+                                    crash_dir=self.crash_dir,
+                                    tracer=self.tracer,
+                                ))
+                            metrics.observe(
+                                "engine.unit_check_s", unit_span.duration
+                            )
+                    else:
+                        stats.parallel_used = True
+                        metrics.inc("engine.parallel.runs")
+                finally:
+                    check_span.end()
+                stats.check_s += check_span.duration
+                for plan, output in zip(misses, outputs):
+                    plan.output = output
+                    # Degraded results (parse recovery, skipped files,
+                    # contained crashes) are never cached: the unit must be
+                    # re-checked from scratch on every run until it is fixed.
+                    if self.cache is not None and not output.degraded:
+                        self.cache.put_result(
+                            plan.fingerprint, output.messages,
+                            output.suppressed
+                        )
+
+            messages, suppressed = merge_unit_outputs(
+                [p.output for p in plans]
+            )
+            stats.degraded_units = sum(1 for p in plans if p.output.degraded)
+            stats.internal_errors = sum(
+                p.output.internal_errors for p in plans
+            )
+        finally:
+            batch_span.end()
+        stats.total_s = batch_span.duration
+        metrics.inc("engine.units.degraded", stats.degraded_units)
+        metrics.inc("engine.internal_errors", stats.internal_errors)
+        metrics.observe("engine.run_s", stats.total_s)
+        # Cache entries silently discarded as corrupt/unreadable during
+        # this run become a visible note: corruption must be diagnosable.
+        if self.cache is not None:
+            dropped = self.cache.drain_dropped()
+            if dropped:
+                stats.notes.append(
+                    f"result cache dropped {dropped} corrupt or unreadable "
+                    f"entr{'y' if dropped == 1 else 'ies'} under "
+                    f"{self.cache.root}"
+                )
         return CheckResult(
             messages=messages,
             suppressed=suppressed,
@@ -331,6 +391,7 @@ class IncrementalChecker:
                 memo.includes, files
             ):
                 stats.memo_hits += 1
+                self.metrics.inc("cache.memo.hit")
                 plan.token_digest = memo.token_digest
                 plan.iface_digest = memo.iface_digest
                 plan.enum_consts = dict(memo.enum_consts)
@@ -338,6 +399,7 @@ class IncrementalChecker:
                 plan._memo = memo  # type: ignore[attr-defined]
                 return
         stats.memo_misses += 1
+        self.metrics.inc("cache.memo.miss")
         self._parse_plan(plan, sources, stats, memo_key=key)
 
     def _parse_plan(
@@ -362,21 +424,21 @@ class IncrementalChecker:
             self._fail_plan(plan, internal_fatal(exc, plan.name, "preprocessing"))
             return
         plan.token_digest = token_stream_digest(tokens)
-        t0 = time.perf_counter()
+        parse_span = self.tracer.span("parse", cat="phase", unit=plan.name)
         try:
             # ParseError cannot normally escape (panic-mode recovery eats
             # it inside parse_translation_unit); anything arriving here is
             # a checker bug and is contained as an internal error.
             plan.parsed = self._parse_tokens(tokens, plan.name)
         except Exception as exc:
-            stats.parse_s += time.perf_counter() - t0
+            stats.parse_s += parse_span.end()
             write_crash_bundle(
                 self.crash_dir, phase="parse", unit=plan.name, exc=exc,
                 source_text=plan.text,
             )
             self._fail_plan(plan, internal_fatal(exc, plan.name, "parsing"))
             return
-        stats.parse_s += time.perf_counter() - t0
+        stats.parse_s += parse_span.end()
         plan.enum_consts = dict(plan.parsed.enum_consts)
         plan.interface = unit_interface(plan.parsed)
         iface_pickle = pickle.dumps((plan.interface, plan.enum_consts))
@@ -415,12 +477,19 @@ class IncrementalChecker:
         sources: SourceManager,
         stats: CheckStats,
     ) -> tuple[list[Token], set[str]]:
-        t0 = time.perf_counter()
-        pp = Preprocessor(
-            sources, defines=dict(self.defines), system_headers=SYSTEM_HEADERS
-        )
-        tokens = pp.preprocess_text(text, name)
-        stats.preprocess_s += time.perf_counter() - t0
+        with self.tracer.span("preprocess", cat="phase", unit=name) as sp:
+            pp = Preprocessor(
+                sources, defines=dict(self.defines),
+                system_headers=SYSTEM_HEADERS,
+            )
+            tokens = pp.preprocess_text(text, name)
+            # The lexer's share is interleaved inside preprocessing and
+            # only known after the fact; record it as a child interval.
+            self.tracer.add_complete(
+                "lex", start=sp.start, duration=pp.lex_s, cat="phase",
+                unit=name,
+            )
+        stats.preprocess_s += sp.duration
         stats.lex_s += pp.lex_s
         return tokens, set(pp._included)
 

@@ -33,6 +33,7 @@ from ..core.api import (
     check_parsed_unit,
     ensure_process_initialized,
 )
+from ..obs.metrics import GLOBAL_METRICS
 
 _WORKER_STATE: tuple | None = None
 
@@ -64,6 +65,7 @@ def check_units_parallel(
     enum_consts: dict[str, int],
     jobs: int,
     crash_dir: str | None = None,
+    metrics=None,
 ) -> tuple[list[UnitCheckOutput] | None, list[str]]:
     """Check *units* on a pool of *jobs* workers, preserving unit order.
 
@@ -73,9 +75,11 @@ def check_units_parallel(
     run can report why it did not go fully parallel.
     """
     notes: list[str] = []
+    metrics = metrics if metrics is not None else GLOBAL_METRICS
     if jobs <= 1 or len(units) <= 1:
         return None, notes
     if not fork_available():
+        metrics.inc("engine.parallel.fallbacks")
         notes.append(
             f"parallel checking unavailable (no fork start method on this "
             f"platform); checked {len(units)} unit(s) serially"
@@ -84,6 +88,7 @@ def check_units_parallel(
     try:
         payload = pickle.dumps((units, symtab, flags, enum_consts, crash_dir))
     except Exception as exc:
+        metrics.inc("engine.parallel.fallbacks")
         notes.append(
             f"parallel checking unavailable (shared state not picklable: "
             f"{type(exc).__name__}); checked {len(units)} unit(s) serially"
@@ -98,6 +103,7 @@ def check_units_parallel(
             initargs=(payload,),
         )
     except Exception as exc:
+        metrics.inc("engine.parallel.fallbacks")
         notes.append(
             f"parallel checking unavailable (cannot start worker pool: "
             f"{type(exc).__name__}); checked {len(units)} unit(s) serially"
@@ -113,6 +119,7 @@ def check_units_parallel(
                 # One dead task (crashed worker, broken pool, exception
                 # past per-function containment) costs one serial
                 # re-check, not the whole pool's work.
+                metrics.inc("engine.parallel.unit_retries")
                 notes.append(
                     f"parallel check of {units[index].unit.name} failed "
                     f"({type(exc).__name__}); re-checked serially"

@@ -8,6 +8,10 @@ line protocol on stdin/stdout:
 * request — one line, either a JSON array of CLI arguments
   (``["-quiet", "src/a.c"]``) or a plain shell-style command line
   (``-quiet src/a.c``);
+* ``metrics`` (plain or as ``["metrics"]``) — replies with a snapshot of
+  the process-lifetime metrics registry (cache traffic, dropped cache
+  entries, degraded units, request counts by exit status, ...) instead
+  of running a check;
 * response — one JSON object per line:
   ``{"id": n, "status": <exit status>, "output": "...", "stats": {...}}``
   (an ``"error"`` key replaces ``"output"`` for malformed or failed
@@ -32,6 +36,7 @@ import sys
 from dataclasses import dataclass, field
 
 from ..core.api import ensure_process_initialized
+from ..obs.metrics import GLOBAL_METRICS
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 
 #: Hard cap on one request line. A client that streams a huge (or
@@ -106,7 +111,14 @@ class DaemonServer:
             argv = self._parse_request(line)
         except ValueError as exc:
             self.stats.errors += 1
+            GLOBAL_METRICS.inc("daemon.requests.malformed")
             return {"id": request_id, "status": 2, "error": str(exc)}
+        if argv == ["metrics"]:
+            GLOBAL_METRICS.inc("daemon.requests.metrics")
+            return {
+                "id": request_id, "status": 0,
+                "metrics": GLOBAL_METRICS.to_dict(),
+            }
         return self.handle_request(argv, request_id)
 
     def handle_request(self, argv: list[str], request_id: int) -> dict:
@@ -116,13 +128,16 @@ class DaemonServer:
             status, output = cli.run(argv, cache=self.cache, jobs=self.jobs)
         except cli.CliError as exc:
             self.stats.errors += 1
+            GLOBAL_METRICS.inc("daemon.requests.status.2")
             return {"id": request_id, "status": 2, "error": str(exc)}
         except Exception as exc:  # a daemon must survive any one request
             self.stats.errors += 1
+            GLOBAL_METRICS.inc("daemon.requests.status.3")
             return {
                 "id": request_id, "status": 3,
                 "error": f"internal error: {type(exc).__name__}: {exc}",
             }
+        GLOBAL_METRICS.inc(f"daemon.requests.status.{status}")
         stats = cli.LAST_RUN_STATS
         payload: dict = {"id": request_id, "status": status, "output": output}
         if stats is not None:

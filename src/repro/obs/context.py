@@ -1,0 +1,53 @@
+"""The Observability bundle the driver threads through a run.
+
+``Observability.from_options`` maps the CLI surface (``--trace-out``,
+``--trace-format``, ``--metrics-out``) onto a tracer + registry pair;
+``finish()`` flushes the trace sink and writes the metrics dump. With no
+options it degrades to a sink-less tracer and the global registry, so
+callers never branch on "is observability on".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .export import ChromeTraceSink, JsonLinesSink
+from .metrics import GLOBAL_METRICS, MetricsRegistry
+from .trace import Tracer
+
+TRACE_FORMATS = ("jsonl", "chrome")
+
+
+@dataclass
+class Observability:
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=lambda: GLOBAL_METRICS)
+    metrics_out: str | None = None
+
+    @staticmethod
+    def from_options(
+        trace_out: str | None = None,
+        trace_format: str = "jsonl",
+        metrics_out: str | None = None,
+    ) -> "Observability":
+        if trace_format not in TRACE_FORMATS:
+            raise ValueError(
+                f"unknown trace format {trace_format!r} "
+                f"(expected one of {', '.join(TRACE_FORMATS)})"
+            )
+        sink = None
+        if trace_out is not None:
+            sink = (
+                ChromeTraceSink(trace_out)
+                if trace_format == "chrome" else JsonLinesSink(trace_out)
+            )
+        return Observability(
+            tracer=Tracer(sink), metrics=GLOBAL_METRICS,
+            metrics_out=metrics_out,
+        )
+
+    def finish(self) -> None:
+        """Flush the trace file and write the metrics dump, if any."""
+        self.tracer.close()
+        if self.metrics_out is not None:
+            self.metrics.dump_json(self.metrics_out)

@@ -186,3 +186,99 @@ class TestNullAtInterfaces:
         assert any(
             "derivable from return value" in m.text for m in result.messages
         )
+
+
+class TestTernaryGuards:
+    """The ?: condition guards each arm exactly like an if/else."""
+
+    def test_guard_and_deref_in_true_arm(self):
+        src = ("int f(/*@null@*/ int *p) "
+               "{ return (p != NULL && *p > 0) ? 1 : 0; }")
+        assert codes(src) == []
+
+    def test_bare_truth_guard_in_true_arm(self):
+        src = "int f(/*@null@*/ int *p) { return p ? *p : 0; }"
+        assert codes(src) == []
+
+    def test_negated_guard_in_false_arm(self):
+        src = "int f(/*@null@*/ int *p) { return (p == NULL) ? 0 : *p; }"
+        assert codes(src) == []
+
+    def test_deref_in_wrong_arm_is_definitely_null(self):
+        src = "int f(/*@null@*/ int *p) { return p ? 0 : *p; }"
+        msgs = texts(src)
+        assert any("null pointer" in m for m in msgs)
+
+    def test_unrelated_condition_does_not_guard(self):
+        src = "int f(/*@null@*/ int *p, int c) { return c ? *p : 0; }"
+        assert MessageCode.NULL_DEREF in codes(src)
+
+    def test_guarded_index_in_true_arm(self):
+        src = "int f(/*@null@*/ int *p) { return (p != NULL) ? p[0] : 0; }"
+        assert codes(src) == []
+
+    def test_nested_ternary_keeps_refinement(self):
+        src = ("int f(/*@null@*/ int *p) "
+               "{ return p ? (*p > 0 ? *p : 1) : 0; }")
+        assert codes(src) == []
+
+
+class TestAssignmentInCondition:
+    """if ((p = e) == NULL) refines p, the assignment's target."""
+
+    def test_malloc_eq_null_early_return(self):
+        src = """#include <stdlib.h>
+        int f(void) {
+            char *s;
+            if ((s = (char *) malloc(4)) == NULL) { return 1; }
+            s[0] = 'x';
+            free(s);
+            return 0;
+        }"""
+        assert codes(src) == []
+
+    def test_malloc_ne_null_block_form(self):
+        src = """#include <stdlib.h>
+        int f(void) {
+            char *t;
+            if ((t = (char *) malloc(4)) != NULL) {
+                t[0] = 'y';
+                free(t);
+                return 0;
+            }
+            return 1;
+        }"""
+        assert codes(src) == []
+
+    def test_bare_truth_of_assignment(self):
+        src = """#include <stdlib.h>
+        int f(void) {
+            char *s;
+            if ((s = (char *) malloc(4))) {
+                s[0] = 'x';
+                free(s);
+            }
+            return 0;
+        }"""
+        assert codes(src) == []
+
+    def test_use_outside_the_guarded_branch_still_flagged(self):
+        src = """#include <stdlib.h>
+        int f(void) {
+            char *s;
+            if ((s = (char *) malloc(4)) != NULL) { free(s); return 0; }
+            s[0] = 'x';
+            return 1;
+        }"""
+        assert MessageCode.NULL_DEREF in codes(src)
+
+    def test_unchecked_malloc_still_flagged(self):
+        src = """#include <stdlib.h>
+        int f(void) {
+            char *s;
+            s = (char *) malloc(4);
+            s[0] = 'x';
+            free(s);
+            return 0;
+        }"""
+        assert MessageCode.NULL_DEREF in codes(src)

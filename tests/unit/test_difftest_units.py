@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.bench.seeding import BugKind
+from repro.bench.seeding import GUARD_CLEAN_IDIOMS, BugKind, guard_clean_body
 from repro.difftest.corpus import (
     SCHEMA_VERSION,
     CorpusCase,
@@ -114,6 +114,53 @@ def test_rebuild_variant_respects_new_window():
     driver = rebuilt.files["driver.c"].split("\n")
     start, end = rebuilt.planted.line_start, rebuilt.planted.line_end
     assert driver[start - 1 : end] == reduced
+
+
+def test_clean_controls_cycle_through_guard_idioms():
+    engine = MutationEngine(clean_every=4)
+    # Clean ordinals 0..4 map to: unmutated, then each guard idiom.
+    markers = {
+        "ternary-guard-and": "&& r->count > 0) ? r->count : 0",
+        "ternary-truth": "r ? r->count : 0",
+        "assign-cond-eq": "malloc(4)) == NULL",
+        "assign-cond-ne": "malloc(4)) != NULL",
+    }
+    clean_seeds = [4 * (k + 1) - 1 for k in range(1 + len(GUARD_CLEAN_IDIOMS))]
+    plain = engine.variant(clean_seeds[0])
+    assert plain.is_clean
+    assert not any(m in plain.files["driver.c"] for m in markers.values())
+    for ordinal, idiom in enumerate(GUARD_CLEAN_IDIOMS, start=1):
+        variant = engine.variant(clean_seeds[ordinal])
+        assert variant.is_clean
+        assert markers[idiom] in variant.files["driver.c"], idiom
+        # The window is the spliced body, ready for the shrinker.
+        assert any(markers[idiom] in line for line in variant.window_lines)
+
+
+def test_guard_clean_controls_are_clean_for_both_detectors():
+    engine = MutationEngine(clean_every=4)
+    runner = DualRunner()
+    for ordinal in range(1, 1 + len(GUARD_CLEAN_IDIOMS)):
+        variant = engine.variant(4 * (ordinal + 1) - 1)
+        assert variant.is_clean
+        static = runner.check_static(variant)
+        assert static.messages == [], variant.seed
+        run = runner.run_scenario(variant, variant.target)
+        assert run.failure is None and run.event_kinds == [], variant.seed
+
+
+def test_rebuild_variant_of_guard_clean_control():
+    engine = MutationEngine(clean_every=4)
+    variant = engine.variant(7)   # first guard-idiom control
+    reduced = list(variant.window_lines)[:2]
+    rebuilt = engine.rebuild_variant(variant, reduced)
+    assert rebuilt.is_clean
+    assert list(rebuilt.window_lines) == reduced
+
+
+def test_guard_clean_body_rejects_unknown_idiom():
+    with pytest.raises(ValueError):
+        guard_clean_body("no-such-idiom", 0, "f")
 
 
 def test_variants_cover_every_bug_kind():

@@ -1,6 +1,11 @@
 """Direct unit tests for guard splitting and the runtime layout engine."""
 
-from repro.analysis.guards import GuardAnalyzer, GuardFacts, is_null_literal
+from repro.analysis.guards import (
+    GuardAnalyzer,
+    GuardFacts,
+    is_null_literal,
+    strip_assignments,
+)
 from repro.analysis.states import NullState
 from repro.analysis.storage import Ref
 from repro.annotations.kinds import EMPTY_ANNOTATIONS
@@ -131,6 +136,47 @@ class TestGuardSplitting:
         b = GuardFacts({Ref.local("p"): NullState.NOTNULL})
         merged = a.merge_and(b)
         assert merged.facts[Ref.local("p")] is NullState.NOTNULL
+
+
+def assign(target, value):
+    return A.Assign(LOC, op="=", target=target, value=value)
+
+
+class TestAssignmentGuards:
+    """The value of ``(p = e)`` is p: guards refine the target."""
+
+    def test_strip_single_assignment(self):
+        expr = assign(ident("p"), ident("q"))
+        assert strip_assignments(expr) is expr.target
+
+    def test_strip_chained_assignment(self):
+        inner = assign(ident("q"), null_lit())
+        expr = assign(ident("p"), inner)
+        # (p = (q = e)): the outermost target is what the guard refines.
+        assert strip_assignments(expr) is expr.target
+
+    def test_compound_assignment_not_stripped(self):
+        expr = A.Assign(LOC, op="+=", target=ident("p"), value=ident("q"))
+        assert strip_assignments(expr) is expr
+
+    def test_non_assignment_passes_through(self):
+        expr = ident("p")
+        assert strip_assignments(expr) is expr
+
+    def test_assignment_compared_to_null(self):
+        cond = A.Binary(
+            LOC, op="==",
+            lhs=assign(ident("s"), ident("fresh")),
+            rhs=null_lit(),
+        )
+        t, f = analyzer().split(cond)
+        assert t.facts[Ref.local("s")] is NullState.ISNULL
+        assert f.facts[Ref.local("s")] is NullState.NOTNULL
+
+    def test_bare_truth_of_assignment(self):
+        t, f = analyzer().split(assign(ident("s"), ident("fresh")))
+        assert t.facts[Ref.local("s")] is NullState.NOTNULL
+        assert f.facts[Ref.local("s")] is NullState.ISNULL
 
 
 class TestLayout:

@@ -193,3 +193,72 @@ class TestResultCache:
         cache = ResultCache(str(tmp_path / "c"))
         with pytest.raises(ValueError):
             cache.get_result("../../../etc/passwd")
+
+
+class TestDroppedEntryAccounting:
+    """Discarded corrupt entries are counted; plain misses are not."""
+
+    FP = "ab" * 32
+
+    def _cache(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        return ResultCache(str(tmp_path / "c"), metrics=registry), registry
+
+    def test_fresh_cache_has_no_drops(self, tmp_path):
+        cache, registry = self._cache(tmp_path)
+        assert cache.dropped == 0
+        assert registry.count("cache.entries.dropped") == 0
+
+    def test_plain_miss_is_not_a_drop(self, tmp_path):
+        cache, registry = self._cache(tmp_path)
+        assert cache.get_result("cd" * 32) is None
+        assert cache.get_unit_memo("cd" * 32) is None
+        assert cache.drain_dropped() == 0
+        assert registry.count("cache.entries.dropped") == 0
+
+    def test_corrupt_result_counts_one_drop(self, tmp_path):
+        cache, registry = self._cache(tmp_path)
+        victim = os.path.join(cache.root, "results", self.FP + ".json")
+        with open(victim, "w") as handle:
+            handle.write("not json at all")
+        assert cache.get_result(self.FP) is None
+        assert cache.dropped == 1
+        assert registry.count("cache.entries.dropped") == 1
+
+    def test_corrupt_memo_counts_one_drop(self, tmp_path):
+        cache, registry = self._cache(tmp_path)
+        victim = os.path.join(cache.root, "units", self.FP + ".pkl")
+        with open(victim, "wb") as handle:
+            handle.write(b"\x80\x04 truncated garbage")
+        assert cache.get_unit_memo(self.FP) is None
+        assert cache.dropped == 1
+        assert registry.count("cache.entries.dropped") == 1
+
+    def test_drain_returns_and_resets(self, tmp_path):
+        cache, registry = self._cache(tmp_path)
+        victim = os.path.join(cache.root, "results", self.FP + ".json")
+        with open(victim, "w") as handle:
+            handle.write("garbage")
+        cache.get_result(self.FP)
+        assert cache.drain_dropped() == 1
+        assert cache.drain_dropped() == 0
+        # The metrics counter is cumulative, not drained.
+        assert registry.count("cache.entries.dropped") == 1
+
+    def test_fresh_cache_layout_is_not_a_wipe(self, tmp_path):
+        _, registry = self._cache(tmp_path)
+        assert registry.count("cache.wipes") == 0
+
+    def test_version_mismatch_counts_a_wipe(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        root = str(tmp_path / "c")
+        ResultCache(root)
+        meta = os.path.join(root, "meta.json")
+        with open(meta, "w") as handle:
+            json.dump({"format": -1, "engine": "other"}, handle)
+        registry = MetricsRegistry()
+        ResultCache(root, metrics=registry)
+        assert registry.count("cache.wipes") == 1

@@ -1,0 +1,321 @@
+"""The observability layer: span tracing, metrics, sinks, CLI bundle."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ChromeTraceSink,
+    JsonLinesSink,
+    MemorySink,
+    MetricsRegistry,
+    NULL_TRACER,
+    NullTracer,
+    Observability,
+    Tracer,
+)
+from repro.obs.metrics import GLOBAL_METRICS, LATENCY_BUCKETS_S
+from repro.obs.trace import NULL_SPAN
+
+
+# ---------------------------------------------------------------------------
+# spans and tracers
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nested_spans_record_parentage(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("batch", cat="batch") as batch:
+            with tracer.span("unit", cat="unit", unit="a.c") as unit:
+                with tracer.span("parse") as parse:
+                    pass
+        by_name = {e["name"]: e for e in sink.events}
+        assert set(by_name) == {"batch", "unit", "parse"}
+        assert by_name["batch"]["parent"] is None
+        assert by_name["unit"]["parent"] == by_name["batch"]["id"]
+        assert by_name["parse"]["parent"] == by_name["unit"]["id"]
+        assert by_name["unit"]["args"] == {"unit": "a.c"}
+        assert (batch.id, unit.id, parse.id) == tuple(
+            by_name[n]["id"] for n in ("batch", "unit", "parse")
+        )
+
+    def test_siblings_share_a_parent(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("batch"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        by_name = {e["name"]: e for e in sink.events}
+        assert by_name["first"]["parent"] == by_name["batch"]["id"]
+        assert by_name["second"]["parent"] == by_name["batch"]["id"]
+
+    def test_span_measures_duration(self):
+        tracer = Tracer()  # sink-less: still measures
+        sp = tracer.span("work")
+        duration = sp.end()
+        assert duration >= 0.0
+        assert sp.duration == duration
+
+    def test_double_end_is_idempotent(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        sp = tracer.span("once")
+        sp.end()
+        sp.end()
+        assert len(sink.events) == 1
+
+    def test_annotate_lands_in_args(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        sp = tracer.span("batch")
+        sp.annotate(units=3)
+        sp.end()
+        assert sink.events[0]["args"] == {"units": 3}
+
+    def test_sinkless_tracer_is_not_emitting(self):
+        assert Tracer().emitting is False
+        assert Tracer(MemorySink()).emitting is True
+
+    def test_add_complete_is_a_child_of_the_open_span(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("preprocess") as sp:
+            tracer.add_complete("lex", start=sp.start, duration=0.001)
+        lex = next(e for e in sink.events if e["name"] == "lex")
+        pre = next(e for e in sink.events if e["name"] == "preprocess")
+        assert lex["parent"] == pre["id"]
+        assert lex["dur_us"] == 1000
+
+    def test_add_complete_without_sink_is_a_no_op(self):
+        tracer = Tracer()
+        tracer.add_complete("lex", start=0.0, duration=0.001)  # no crash
+
+    def test_out_of_order_end_tolerated(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.end()  # straggler: inner still open
+        inner.end()
+        assert {e["name"] for e in sink.events} == {"outer", "inner"}
+
+    def test_timestamps_are_relative_to_the_tracer_epoch(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("a"):
+            pass
+        event = sink.events[0]
+        assert event["ts_us"] >= 0
+        assert event["dur_us"] >= 0
+
+    def test_close_closes_the_sink(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.close()
+        assert sink.closed
+
+
+class TestNullTracer:
+    def test_is_not_emitting(self):
+        assert NULL_TRACER.emitting is False
+        assert NullTracer.emitting is False
+
+    def test_span_is_the_shared_inert_span(self):
+        sp = NULL_TRACER.span("anything", cat="unit", unit="x")
+        assert sp is NULL_SPAN
+        with sp as inner:
+            inner.annotate(ignored=True)
+        assert sp.end() == 0.0
+        assert sp.duration == 0.0
+
+    def test_close_and_add_complete_are_no_ops(self):
+        NULL_TRACER.add_complete("lex", start=0.0, duration=1.0)
+        NULL_TRACER.close()
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("cache.result.hit")
+        reg.inc("cache.result.hit", 2)
+        assert reg.count("cache.result.hit") == 3
+        assert reg.count("never.touched") == 0
+
+    def test_histogram_buckets_by_latency(self):
+        reg = MetricsRegistry()
+        reg.observe("engine.run_s", 0.003)
+        reg.observe("engine.run_s", 0.05)
+        reg.observe("engine.run_s", 100.0)
+        hist = reg.histogram("engine.run_s")
+        assert hist.count == 3
+        assert hist.sum_s == pytest.approx(100.053)
+        dumped = hist.to_dict()
+        assert dumped["buckets"]["<=0.005"] == 1
+        assert dumped["buckets"]["<=0.1"] == 1
+        assert dumped["buckets"]["+inf"] == 1
+
+    def test_bucket_count_matches_bounds(self):
+        reg = MetricsRegistry()
+        reg.observe("x", 0.0)
+        dumped = reg.histogram("x").to_dict()
+        assert len(dumped["buckets"]) == len(LATENCY_BUCKETS_S) + 1
+
+    def test_to_dict_is_sorted_and_complete(self):
+        reg = MetricsRegistry()
+        reg.inc("b.counter")
+        reg.inc("a.counter")
+        reg.observe("z.hist", 0.01)
+        out = reg.to_dict()
+        assert list(out["counters"]) == ["a.counter", "b.counter"]
+        assert list(out["histograms"]) == ["z.hist"]
+
+    def test_dump_json_round_trips(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("engine.units", 6)
+        path = tmp_path / "sub" / "metrics.json"
+        reg.dump_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["engine.units"] == 6
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.observe("b", 0.1)
+        reg.reset()
+        assert reg.to_dict() == {"counters": {}, "histograms": {}}
+
+    def test_global_registry_exists_and_is_a_registry(self):
+        assert isinstance(GLOBAL_METRICS, MetricsRegistry)
+
+
+# ---------------------------------------------------------------------------
+# sinks
+# ---------------------------------------------------------------------------
+
+
+def _trace_three_spans(sink):
+    tracer = Tracer(sink)
+    with tracer.span("batch", cat="batch", units=1):
+        with tracer.span("unit", cat="unit", unit="a.c"):
+            pass
+        with tracer.span("analyze"):
+            pass
+    tracer.close()
+
+
+class TestJsonLinesSink:
+    def test_streams_one_event_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _trace_three_spans(JsonLinesSink(str(path)))
+        lines = path.read_text().strip().split("\n")
+        events = [json.loads(line) for line in lines]
+        assert [e["name"] for e in events] == ["unit", "analyze", "batch"]
+        batch = events[-1]
+        assert all(e["parent"] == batch["id"] for e in events[:-1])
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "trace.jsonl"
+        _trace_three_spans(JsonLinesSink(str(path)))
+        assert path.exists()
+
+
+class TestChromeTraceSink:
+    def test_writes_complete_events_on_close(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _trace_three_spans(ChromeTraceSink(str(path)))
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert len(events) == 3
+        assert all(e["ph"] == "X" for e in events)
+        # ts-sorted: the batch span opened first.
+        assert events[0]["name"] == "batch"
+        assert events[0]["args"]["units"] == 1
+        child = next(e for e in events if e["name"] == "unit")
+        assert child["args"]["parent_span_id"] == events[0]["args"]["span_id"]
+
+    def test_events_carry_pid_tid(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _trace_three_spans(ChromeTraceSink(str(path)))
+        events = json.loads(path.read_text())["traceEvents"]
+        assert all(e["pid"] == 1 and e["tid"] == 1 for e in events)
+
+
+# ---------------------------------------------------------------------------
+# the CLI bundle
+# ---------------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_default_is_sinkless_and_global(self):
+        obs = Observability()
+        assert obs.tracer.emitting is False
+        assert obs.metrics is GLOBAL_METRICS
+        obs.finish()  # no outputs: a no-op
+
+    def test_from_options_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            Observability.from_options(
+                trace_out="t.json", trace_format="xml"
+            )
+
+    def test_from_options_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs = Observability.from_options(trace_out=str(path))
+        assert obs.tracer.emitting
+        with obs.tracer.span("batch"):
+            pass
+        obs.finish()
+        assert json.loads(path.read_text().strip())["name"] == "batch"
+
+    def test_from_options_chrome(self, tmp_path):
+        path = tmp_path / "t.json"
+        obs = Observability.from_options(
+            trace_out=str(path), trace_format="chrome"
+        )
+        with obs.tracer.span("batch"):
+            pass
+        obs.finish()
+        assert "traceEvents" in json.loads(path.read_text())
+
+    def test_finish_writes_metrics_dump(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        obs = Observability.from_options(metrics_out=str(path))
+        assert obs.tracer.emitting is False
+        obs.metrics.inc("obs.test.finish_writes_metrics")
+        obs.finish()
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["obs.test.finish_writes_metrics"] >= 1
+
+
+class TestCrashBundleCounters:
+    def test_written_bundle_is_counted(self, tmp_path):
+        from repro.core.faults import write_crash_bundle
+
+        before = GLOBAL_METRICS.count("crashes.bundles.written")
+        path = write_crash_bundle(
+            str(tmp_path / "crashes"), phase="analyze", unit="t.c",
+            exc=ValueError("boom"), function="f", source_text="int x;",
+        )
+        assert path is not None
+        assert GLOBAL_METRICS.count("crashes.bundles.written") == before + 1
+
+    def test_unwritable_bundle_counts_a_failure(self, tmp_path):
+        from repro.core.faults import write_crash_bundle
+
+        target = tmp_path / "not-a-dir"
+        target.write_text("a file where the crash dir should be")
+        before = GLOBAL_METRICS.count("crashes.bundles.failed")
+        path = write_crash_bundle(
+            str(target), phase="parse", unit="t.c", exc=ValueError("boom"),
+        )
+        assert path is None
+        assert GLOBAL_METRICS.count("crashes.bundles.failed") == before + 1
