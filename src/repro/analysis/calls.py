@@ -401,7 +401,7 @@ class CallMixin:
                     target,
                     RefState(DefState.DEAD, value.state.null, AllocState.DEAD),
                 )
-                store.sites[(target, "release")] = loc
+                store.set_site(target, "release", loc)
         elif ann.alloc is AllocAnn.KEEP and value.state.alloc.may_be_released():
             for target in equivalents:
                 store.update(target, lambda s: s.with_alloc(AllocState.KEPT))

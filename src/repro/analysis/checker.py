@@ -519,7 +519,7 @@ class FunctionChecker(ExprMixin, CallMixin):
                 # The local names the same storage the caller passed; a
                 # by-value aggregate is a fresh copy and must not alias
                 # the external argument.
-                store.aliases.add(aref, lref)
+                store.add_alias(aref, lref)
         for guse in self.fdef.globals_list:
             gref = Ref.global_(guse.name)
             self.note_global_use(guse.name)
@@ -551,8 +551,8 @@ class FunctionChecker(ExprMixin, CallMixin):
         for name in scope:
             ref = Ref.local(name)
             store.kill_derived(ref)
-            store.states.pop(ref, None)
-            store.aliases.clear(ref)
+            store.drop_state(ref)
+            store.clear_aliases(ref)
         return store
 
     def _exec_declaration(self, decl: A.Declaration, store: Store) -> Store:
@@ -567,7 +567,7 @@ class FunctionChecker(ExprMixin, CallMixin):
             self._all_locals[dtor.name] = info
             ref = Ref.local(dtor.name)
             store.kill_derived(ref)
-            store.aliases.clear(ref)
+            store.clear_aliases(ref)
             if dtor.init is None:
                 if decl.storage == "static":
                     store.set_state(ref, RefState())  # statics are zeroed

@@ -45,6 +45,27 @@ class Ref:
     base: RefBase
     path: tuple[PathStep, ...] = ()
 
+    # Refs key the store's states/aliases/sites dicts, so one ref is
+    # hashed many times per statement; the dataclass-generated __hash__
+    # re-hashed the field tuple on every lookup. Cache it on first use.
+    # The cache must never be pickled (string hashes are per-process
+    # under hash randomization), hence the explicit state methods.
+
+    def __hash__(self) -> int:
+        try:
+            return self._cached_hash
+        except AttributeError:
+            value = hash((self.base, self.path))
+            object.__setattr__(self, "_cached_hash", value)
+            return value
+
+    def __getstate__(self):
+        return (self.base, self.path)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "base", state[0])
+        object.__setattr__(self, "path", state[1])
+
     # -- constructors ------------------------------------------------------
 
     @staticmethod

@@ -40,7 +40,21 @@ class MergeReport:
 
 
 class Store:
-    """One program point's abstract state."""
+    """One program point's abstract state.
+
+    Copies are **copy-on-write**: branching copies the store at every
+    ``if``/loop/call boundary, but most copies are never written (or only
+    read) before being merged away, so :meth:`copy` just shares the three
+    backing containers and marks both stores shared. The first mutation
+    through either store takes private ownership (one eager clone, the
+    same cost the old unconditional copy paid every time). All writes —
+    including lazy state materialization and alias/site updates — go
+    through methods on this class so the shared containers are never
+    mutated in place; dict contents and iteration order are identical to
+    the eager-copy representation.
+    """
+
+    __slots__ = ("env", "states", "aliases", "unreachable", "sites", "_shared")
 
     def __init__(self, env: StateEnv) -> None:
         self.env = env
@@ -51,16 +65,40 @@ class Store:
         # (ref, kind) with kind in {'null', 'fresh', 'release'}; used for
         # the indented sub-locations in messages (paper footnote 3).
         self.sites: dict[tuple[Ref, str], object] = {}
+        self._shared = False
 
     # -- copying -------------------------------------------------------------
 
     def copy(self) -> "Store":
-        clone = Store(self.env)
-        clone.states = dict(self.states)
-        clone.aliases = self.aliases.copy()
+        clone = Store.__new__(Store)
+        clone.env = self.env
+        clone.states = self.states
+        clone.aliases = self.aliases
         clone.unreachable = self.unreachable
-        clone.sites = dict(self.sites)
+        clone.sites = self.sites
+        clone._shared = True
+        self._shared = True
         return clone
+
+    def _own(self) -> None:
+        """Take private ownership of the backing containers before a write."""
+        self.states = dict(self.states)
+        self.aliases = self.aliases.copy()
+        self.sites = dict(self.sites)
+        self._shared = False
+
+    def absorb(self, other: "Store") -> None:
+        """Adopt *other*'s entire contents (ternary-evaluation rebind)."""
+        self.states = other.states
+        self.aliases = other.aliases
+        self.sites = other.sites
+        self.unreachable = other.unreachable
+        # Both stores now alias the same containers, so both must be
+        # marked shared — inheriting the donor's (possibly private)
+        # flag would let a later write through either side mutate the
+        # other in place.
+        self._shared = True
+        other._shared = True
 
     # -- state access ----------------------------------------------------------
 
@@ -73,6 +111,8 @@ class Store:
             st = self.env.base_default(ref)
         else:
             st = self.env.derived_default(ref, self.state(parent))
+        if self._shared:
+            self._own()
         self.states[ref] = st
         return st
 
@@ -81,7 +121,16 @@ class Store:
         return self.states.get(ref)
 
     def set_state(self, ref: Ref, st: RefState) -> None:
+        if self._shared:
+            self._own()
         self.states[ref] = st
+
+    def drop_state(self, ref: Ref) -> None:
+        """Forget a materialized state (scope exit of a local)."""
+        if ref in self.states:
+            if self._shared:
+                self._own()
+            self.states.pop(ref, None)
 
     def update(self, ref: Ref, fn: Callable[[RefState], RefState]) -> None:
         self.set_state(ref, fn(self.state(ref)))
@@ -91,15 +140,38 @@ class Store:
         for target in self.aliases.closure(ref):
             self.update(target, fn)
 
+    # -- alias / site access ---------------------------------------------------
+
+    def add_alias(self, a: Ref, b: Ref) -> None:
+        if self._shared:
+            self._own()
+        self.aliases.add(a, b)
+
+    def clear_aliases(self, ref: Ref) -> None:
+        if self._shared:
+            self._own()
+        self.aliases.clear(ref)
+
+    def set_site(self, ref: Ref, kind: str, loc: object) -> None:
+        if self._shared:
+            self._own()
+        self.sites[(ref, kind)] = loc
+
     def kill_derived(self, ref: Ref) -> None:
         """Forget states and aliases of references derived from *ref*.
 
         Used when *ref* is assigned a new value: ``l = l->next`` must not
         let the old ``l->next`` state shadow the new one.
         """
-        for key in [k for k in self.states if ref.is_prefix_of(k)]:
+        state_keys = [k for k in self.states if ref.is_prefix_of(k)]
+        alias_keys = [k for k in self.aliases.refs() if ref.is_prefix_of(k)]
+        if not state_keys and not alias_keys:
+            return
+        if self._shared:
+            self._own()
+        for key in state_keys:
             del self.states[key]
-        for key in [k for k in list(self.aliases.refs()) if ref.is_prefix_of(k)]:
+        for key in alias_keys:
             self.aliases.clear(key)
 
     def materialized(self) -> list[Ref]:

@@ -69,6 +69,23 @@ def _index_key(index_expr: A.Expr) -> str:
     return "?"
 
 
+class _LazyRender:
+    """Renders an expression only if the message actually fires.
+
+    Module-level (not a per-call closure class): ``_transfer_obligation``
+    runs for every assignment, and creating a class object each call cost
+    more than the analysis work around it.
+    """
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: A.Expr) -> None:
+        self.expr = expr
+
+    def __str__(self) -> str:
+        return render_expr(self.expr)
+
+
 class ExprMixin:
     """Expression evaluation; mixed into FunctionChecker.
 
@@ -324,10 +341,7 @@ class ExprMixin:
         other = self.eval_rvalue(expr.other, false_store)
         merged_store, reports = true_store.merge(false_store)
         self._report_merges(reports, expr.location)
-        store.states = merged_store.states
-        store.aliases = merged_store.aliases
-        store.sites = merged_store.sites
-        store.unreachable = merged_store.unreachable
+        store.absorb(merged_store)
         merged, _ = then.state.merged(other.state)
         return Value(merged, ctype=then.ctype or other.ctype)
 
@@ -431,9 +445,9 @@ class ExprMixin:
             store.kill_derived(target_ref)
             store.set_state(target_ref, new_state)
             if new_state.null.possibly_null():
-                store.sites[(target_ref, "null")] = loc
+                store.set_site(target_ref, "null", loc)
         if tref.depth == 0:
-            store.aliases.clear(tref)
+            store.clear_aliases(tref)
         if value.ref is not None:
             for target_ref in targets:
                 for k, st in derived_states:
@@ -445,7 +459,7 @@ class ExprMixin:
         for target_ref in targets:
             for cand in alias_candidates:
                 if cand != target_ref:
-                    store.aliases.add(target_ref, cand)
+                    store.add_alias(target_ref, cand)
 
         return Value(new_state, ref=tref, ctype=target.ctype)
 
@@ -509,11 +523,7 @@ class ExprMixin:
         target_ann = self.effective_alloc_ann(tref)
         tname = self.describe_ref(tref)
         # rendering is only needed when a message fires; keep it lazy
-        class _Rendered:
-            def __str__(inner) -> str:
-                return render_expr(expr)
-
-        rendered = _Rendered()
+        rendered = _LazyRender(expr)
 
         def target_obligation_state() -> AllocState:
             if target_ann is AllocAnn.ONLY:
@@ -531,7 +541,7 @@ class ExprMixin:
         # Case 1: fresh storage straight from an allocating call.
         if rhs_state.alloc is AllocState.FRESH and value.ref is None:
             if takes_obligation:
-                store.sites[(tref, "fresh")] = loc
+                store.set_site(tref, "fresh", loc)
                 return target_obligation_state()
             if target_ann in (AllocAnn.TEMP, AllocAnn.DEPENDENT, AllocAnn.SHARED):
                 self.reporter.report(
@@ -571,7 +581,7 @@ class ExprMixin:
                         store.update(
                             src_ref, lambda s: s.with_alloc(AllocState.KEPT)
                         )
-                    store.sites[(tref, "fresh")] = loc
+                    store.set_site(tref, "fresh", loc)
                     return target_obligation_state()
                 if takes_obligation and not frame_owned:
                     # Borrowing an external only reference: dependent alias.

@@ -101,6 +101,13 @@ class AnnotationSet:
         Declaration-level annotations override typedef-level ones; the
         paper's ``notnull`` exists exactly to override a typedef ``null``.
         """
+        # Either side being completely empty (flags *and* names) means
+        # the merge is the other side verbatim; AnnotationSet is frozen,
+        # so sharing the object is safe. Most declarations hit this.
+        if base.is_empty() and not base.names:
+            return self
+        if self.is_empty() and not self.names:
+            return base
         return AnnotationSet(
             null=self.null if self.null is not None else base.null,
             definition=(

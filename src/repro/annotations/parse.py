@@ -17,6 +17,7 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a package-import cycle
 
 from .kinds import (
     ANNOTATION_WORDS,
+    EMPTY_ANNOTATIONS,
     AllocAnn,
     AnnotationSet,
     DefAnn,
@@ -35,7 +36,19 @@ class AnnotationProblem:
 
 
 class AnnotationBuilder:
-    """Accumulates annotation words for one declaration."""
+    """Accumulates annotation words for one declaration.
+
+    ``__slots__`` and the untouched-``build()`` fast path matter because
+    the parser instantiates one builder per declaration-specifier
+    sequence, and the vast majority of declarations in real code carry no
+    annotations at all.
+    """
+
+    __slots__ = (
+        "_null", "_definition", "_alloc", "_exposure", "_unique",
+        "_returned", "_truenull", "_falsenull", "_names", "problems",
+        "_touched",
+    )
 
     def __init__(self) -> None:
         self._null: NullAnn | None = None
@@ -48,12 +61,14 @@ class AnnotationBuilder:
         self._falsenull = False
         self._names: list[str] = []
         self.problems: list[AnnotationProblem] = []
+        self._touched = False
 
     def add_payload(self, payload: str, location: Location) -> None:
         for word in payload.split():
             self.add_word(word, location)
 
     def add_word(self, word: str, location: Location) -> None:
+        self._touched = True
         entry = ANNOTATION_WORDS.get(word)
         if entry is None:
             self.problems.append(
@@ -102,6 +117,8 @@ class AnnotationBuilder:
                 self._falsenull = True
 
     def build(self) -> AnnotationSet:
+        if not self._touched:
+            return EMPTY_ANNOTATIONS
         return AnnotationSet(
             null=self._null,
             definition=self._definition,

@@ -62,6 +62,7 @@ Exit-code contract (stable; build systems may rely on it):
 from __future__ import annotations
 
 import sys
+import time
 
 from ..analysis.cfg import build_cfg
 from ..flags.registry import FLAG_REGISTRY, Flags, UnknownFlag
@@ -126,6 +127,7 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
     """
     global LAST_RUN_STATS
     LAST_RUN_STATS = None
+    run_t0 = time.perf_counter()
     paths: list[str] = []
     flag_args: list[str] = []
     dump_path: str | None = None
@@ -286,8 +288,10 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
                 )
                 for lib in load_paths:
                     checker.load_library(lib)
+                prologue_s = time.perf_counter() - run_t0
                 result = checker.check_sources(files)
                 stats = checker.stats
+                stats.prologue_s = prologue_s
                 LAST_RUN_STATS = stats
                 for note in stats.notes:
                     out.append(f"pylclint: warning: {note}")
@@ -306,6 +310,7 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
         if obs is not None:
             obs.finish()
 
+    render_t0 = time.perf_counter()
     for message in result.messages:
         out.append(message.render())
 
@@ -321,6 +326,7 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
             out.append(stats.render())
 
     if want_profile and stats is not None:
+        stats.render_s = time.perf_counter() - render_t0
         out.append(stats.render_profile())
 
     if result.internal_errors and not quiet:

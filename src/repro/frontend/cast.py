@@ -1,14 +1,16 @@
 """Abstract syntax tree for the supported C subset.
 
-Nodes are plain dataclasses. Every node carries a source
-:class:`~repro.frontend.source.Location`. Declarations additionally carry
-an :class:`~repro.annotations.kinds.AnnotationSet`, which is how the
-paper's interface assumptions enter the analysis.
+Nodes are ``slots=True`` dataclasses: a cold parse allocates hundreds of
+thousands of them, and slots drop the per-node ``__dict__`` (smaller,
+faster attribute access, cheaper construction). Every node carries a
+source :class:`~repro.frontend.source.Location`. Declarations
+additionally carry an :class:`~repro.annotations.kinds.AnnotationSet`,
+which is how the paper's interface assumptions enter the analysis.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Iterator
 
 from .source import Location
@@ -17,14 +19,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..annotations.kinds import AnnotationSet
     from .ctypes import CType
 
+#: Per-class child-bearing field names (everything but ``location``),
+#: resolved once per node class. With ``slots=True`` there is no
+#: ``__dict__`` to iterate, and ``dataclasses.fields`` per call would be
+#: far slower than the old dict walk.
+_CHILD_FIELDS: dict[type, tuple[str, ...]] = {}
 
-@dataclass
+
+@dataclass(slots=True)
 class Node:
     location: Location
 
     def children(self) -> Iterator["Node"]:
         """Yield direct child nodes (used by generic walkers)."""
-        for value in self.__dict__.values():
+        cls = type(self)
+        names = _CHILD_FIELDS.get(cls)
+        if names is None:
+            names = tuple(
+                f.name for f in fields(cls) if f.name != "location"
+            )
+            _CHILD_FIELDS[cls] = names
+        for name in names:
+            value = getattr(self, name)
             if isinstance(value, Node):
                 yield value
             elif isinstance(value, list):
@@ -45,108 +61,108 @@ def walk(node: Node) -> Iterator[Node]:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Expr(Node):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class IntLit(Expr):
     value: int
     spelling: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class FloatLit(Expr):
     value: float
     spelling: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class CharLit(Expr):
     value: int
     spelling: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class StringLit(Expr):
     value: str  # decoded contents, without quotes
     spelling: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class Ident(Expr):
     name: str
 
 
-@dataclass
+@dataclass(slots=True)
 class Unary(Expr):
     op: str  # one of: * & ! ~ - + ++ -- (prefix), p++ p-- (postfix)
     operand: Expr
 
 
-@dataclass
+@dataclass(slots=True)
 class Binary(Expr):
     op: str
     lhs: Expr
     rhs: Expr
 
 
-@dataclass
+@dataclass(slots=True)
 class Assign(Expr):
     op: str  # '=', '+=', ...
     target: Expr
     value: Expr
 
 
-@dataclass
+@dataclass(slots=True)
 class Ternary(Expr):
     cond: Expr
     then: Expr
     other: Expr
 
 
-@dataclass
+@dataclass(slots=True)
 class Call(Expr):
     func: Expr
     args: list[Expr]
 
 
-@dataclass
+@dataclass(slots=True)
 class Member(Expr):
     obj: Expr
     fieldname: str
     arrow: bool  # True for '->', False for '.'
 
 
-@dataclass
+@dataclass(slots=True)
 class Index(Expr):
     array: Expr
     index: Expr
 
 
-@dataclass
+@dataclass(slots=True)
 class Cast(Expr):
     to_type: "CType"
     operand: Expr
 
 
-@dataclass
+@dataclass(slots=True)
 class SizeofExpr(Expr):
     operand: Expr
 
 
-@dataclass
+@dataclass(slots=True)
 class SizeofType(Expr):
     of_type: "CType"
 
 
-@dataclass
+@dataclass(slots=True)
 class Comma(Expr):
     exprs: list[Expr]
 
 
-@dataclass
+@dataclass(slots=True)
 class InitList(Expr):
     """A brace initializer list: ``{1, 2, 3}``."""
 
@@ -158,47 +174,47 @@ class InitList(Expr):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Stmt(Node):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class ExprStmt(Stmt):
     expr: Expr
 
 
-@dataclass
+@dataclass(slots=True)
 class EmptyStmt(Stmt):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class Block(Stmt):
     items: list[Node] = field(default_factory=list)  # Stmt or Declaration
     end_location: Location | None = None  # location of the closing brace
 
 
-@dataclass
+@dataclass(slots=True)
 class If(Stmt):
     cond: Expr
     then: Stmt
     orelse: Stmt | None
 
 
-@dataclass
+@dataclass(slots=True)
 class While(Stmt):
     cond: Expr
     body: Stmt
 
 
-@dataclass
+@dataclass(slots=True)
 class DoWhile(Stmt):
     body: Stmt
     cond: Expr
 
 
-@dataclass
+@dataclass(slots=True)
 class For(Stmt):
     init: Node | None  # ExprStmt or Declaration
     cond: Expr | None
@@ -206,39 +222,39 @@ class For(Stmt):
     body: Stmt
 
 
-@dataclass
+@dataclass(slots=True)
 class Switch(Stmt):
     cond: Expr
     body: Stmt
 
 
-@dataclass
+@dataclass(slots=True)
 class Case(Stmt):
     value: Expr | None  # None => default
     body: Stmt
 
 
-@dataclass
+@dataclass(slots=True)
 class Break(Stmt):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class Continue(Stmt):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class Return(Stmt):
     value: Expr | None
 
 
-@dataclass
+@dataclass(slots=True)
 class Goto(Stmt):
     label: str
 
 
-@dataclass
+@dataclass(slots=True)
 class Label(Stmt):
     name: str
     body: Stmt
@@ -249,7 +265,7 @@ class Label(Stmt):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Declarator(Node):
     """One declared name with its resolved type, annotations, and initializer."""
 
@@ -261,7 +277,7 @@ class Declarator(Node):
     modifies_list: list[str] | None = None  # None => no modifies clause
 
 
-@dataclass
+@dataclass(slots=True)
 class Declaration(Node):
     """A declaration statement: zero or more declarators plus storage class."""
 
@@ -270,14 +286,14 @@ class Declaration(Node):
     is_typedef: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ParamDecl(Node):
     name: str | None
     ctype: "CType"
     annotations: "AnnotationSet"
 
 
-@dataclass
+@dataclass(slots=True)
 class GlobalUse(Node):
     """One entry in a function's ``/*@globals ...@*/`` list."""
 
@@ -286,7 +302,7 @@ class GlobalUse(Node):
     killed: bool = False  # function releases the global's storage
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionDef(Node):
     name: str
     ctype: "CType"  # a FunctionType
@@ -298,7 +314,7 @@ class FunctionDef(Node):
     modifies_list: list[str] | None = None  # None => no modifies clause
 
 
-@dataclass
+@dataclass(slots=True)
 class TranslationUnit(Node):
     name: str
     items: list[Node] = field(default_factory=list)  # Declaration | FunctionDef

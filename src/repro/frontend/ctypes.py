@@ -66,6 +66,60 @@ DOUBLE = Primitive("double")
 BOOL = Primitive("int")  # C89 has no bool; LCL's bool maps to int
 
 
+# -- interning ---------------------------------------------------------------
+#
+# A cold parse builds the same handful of scalar and pointer types tens of
+# thousands of times. Primitive and Pointer are frozen with structural
+# equality, so sharing one object per distinct shape is observationally
+# identical while making equality checks pointer comparisons and skipping
+# the dataclass constructor on every hit. Mutable types (struct/enum/
+# function) are identity-hashed and must NOT be interned.
+
+_PRIMITIVE_INTERN: dict[tuple, "Primitive"] = {}
+_POINTER_INTERN: dict[tuple, "Pointer"] = {}
+
+#: Growth bound for the pointer table: pointee types include per-unit
+#: struct objects, so a long-lived daemon process would otherwise
+#: accumulate entries forever. Interning is only an accelerator — on
+#: overflow the table resets and repopulates with the live working set.
+_POINTER_INTERN_CAP = 8192
+
+
+def make_primitive(
+    name: str, qualifiers: frozenset[str] = frozenset()
+) -> "Primitive":
+    """Interned constructor for :class:`Primitive`."""
+    key = (name, qualifiers)
+    cached = _PRIMITIVE_INTERN.get(key)
+    if cached is None:
+        cached = _PRIMITIVE_INTERN[key] = Primitive(name, qualifiers)
+    return cached
+
+
+def make_pointer(
+    to: CType, qualifiers: frozenset[str] = frozenset()
+) -> "Pointer":
+    """Interned constructor for :class:`Pointer`.
+
+    Keyed by pointee identity (mutable pointees compare by identity
+    anyway; for frozen pointees identity-sharing is what interning their
+    own constructors guarantees), so lookups never recurse into type
+    structure.
+    """
+    key = (id(to), qualifiers)
+    cached = _POINTER_INTERN.get(key)
+    if cached is None:
+        if len(_POINTER_INTERN) >= _POINTER_INTERN_CAP:
+            _POINTER_INTERN.clear()
+        cached = _POINTER_INTERN[key] = Pointer(to, qualifiers)
+    return cached
+
+
+for _prim in (VOID, INT, CHAR, UNSIGNED_INT, SIZE_T, DOUBLE):
+    _PRIMITIVE_INTERN[(_prim.name, _prim.qualifiers)] = _prim
+del _prim
+
+
 @dataclass(frozen=True)
 class Pointer(CType):
     to: CType
@@ -255,7 +309,7 @@ def struct_fields(ctype: CType) -> list[FieldDecl]:
 
 def add_qualifier(ctype: CType, qual: str) -> CType:
     if isinstance(ctype, Primitive):
-        return Primitive(ctype.name, ctype.qualifiers | {qual})
+        return make_primitive(ctype.name, ctype.qualifiers | {qual})
     if isinstance(ctype, Pointer):
-        return Pointer(ctype.to, ctype.qualifiers | {qual})
+        return make_pointer(ctype.to, ctype.qualifiers | {qual})
     return ctype  # qualifiers on aggregates don't affect the analysis

@@ -14,6 +14,7 @@ suppression machinery.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..annotations.kinds import ANNOTATION_WORDS, AnnotationSet
@@ -31,6 +32,8 @@ from .ctypes import (
     StructType,
     TypedefType,
     add_qualifier,
+    make_pointer,
+    make_primitive,
 )
 from .preprocessor import parse_int_constant, _char_value
 from .source import Location
@@ -49,6 +52,12 @@ _TYPE_KEYWORDS = frozenset(
 )
 _STORAGE_KEYWORDS = frozenset({"typedef", "extern", "static", "auto", "register"})
 _QUALIFIER_KEYWORDS = frozenset({"const", "volatile", "inline"})
+
+# Hoisted unions: these membership tests sit on the statement/expression
+# hot path, and rebuilding the union per call showed up in profiles.
+_TYPE_START_KEYWORDS = _TYPE_KEYWORDS | _QUALIFIER_KEYWORDS
+_DECL_START_KEYWORDS = _TYPE_KEYWORDS | _STORAGE_KEYWORDS | _QUALIFIER_KEYWORDS
+_UNARY_OPS = frozenset({"&", "*", "+", "-", "~", "!"})
 
 #: Canonical multi-word primitive spellings, keyed by sorted specifier words.
 _PRIMITIVE_COMBOS = {
@@ -134,6 +143,7 @@ class Parser:
         self, toks: list[Token], name: str = "<string>",
         lcl_mode: bool = False,
         preseed: "_Scope | None" = None,
+        engine: str | None = None,
     ) -> None:
         self.toks = [t for t in toks if t.kind is not TokenKind.CONTROL]
         self.controls = [t for t in toks if t.kind is TokenKind.CONTROL]
@@ -153,27 +163,45 @@ class Parser:
         # bare words before the type ('null out only void *malloc(...)')
         # rather than inside /*@...@*/ comments.
         self.lcl_mode = lcl_mode
+        if engine is None:
+            engine = _DEFAULT_ENGINE
+        if engine == "table":
+            self._binary_expr = self._table_binary_expression
+        elif engine == "reference":
+            self._binary_expr = self._reference_binary_expression
+        else:
+            raise ValueError(f"unknown parser engine {engine!r}")
 
     # -- token plumbing ----------------------------------------------------
 
+    # _peek/_next/_accept are the parser's innermost loop; each avoids
+    # delegating to the other so a token step costs one method call.
+
     def _peek(self, ahead: int = 0) -> Token:
+        toks = self.toks
         idx = self.idx + ahead
-        if idx < len(self.toks):
-            return self.toks[idx]
-        return self.toks[-1]  # EOF sentinel
+        if idx < len(toks):
+            return toks[idx]
+        return toks[-1]  # EOF sentinel
 
     def _next(self) -> Token:
-        tok = self._peek()
+        toks = self.toks
+        idx = self.idx
+        tok = toks[idx] if idx < len(toks) else toks[-1]
         if tok.kind is not TokenKind.EOF:
-            self.idx += 1
+            self.idx = idx + 1
         return tok
 
     def _accept(self, spelling: str) -> Token | None:
-        tok = self._peek()
-        if (tok.kind is TokenKind.PUNCT or tok.kind is TokenKind.KEYWORD) and (
+        toks = self.toks
+        idx = self.idx
+        tok = toks[idx] if idx < len(toks) else toks[-1]
+        kind = tok.kind
+        if (kind is TokenKind.PUNCT or kind is TokenKind.KEYWORD) and (
             tok.value == spelling
         ):
-            return self._next()
+            self.idx = idx + 1
+            return tok
         return None
 
     def _expect(self, spelling: str) -> Token:
@@ -242,7 +270,7 @@ class Parser:
         if tok.kind is TokenKind.ANNOTATION:
             return True
         if tok.kind is TokenKind.KEYWORD:
-            return tok.value in _TYPE_KEYWORDS | _STORAGE_KEYWORDS | _QUALIFIER_KEYWORDS
+            return tok.value in _DECL_START_KEYWORDS
         if tok.kind is TokenKind.IDENT:
             if self.scope.lookup_typedef(tok.value) is None:
                 return False
@@ -270,49 +298,62 @@ class Parser:
         builder = AnnotationBuilder()
         start = self._peek().location
 
+        # Dispatch on token kind first: the specifier loop runs for every
+        # declaration, and the original chain re-tested kind per branch.
+        # Branch conditions are mutually exclusive, so the reordering is
+        # behavior-preserving.
         while True:
-            self._collect_annotations(builder)
             tok = self._peek()
-            if (
-                self.lcl_mode
-                and tok.kind is TokenKind.IDENT
-                and not type_words
-                and tagged is None
-                and typedef_ref is None
-                and tok.value in ANNOTATION_WORDS
-                and self.scope.lookup_typedef(tok.value) is None
-            ):
-                self._next()
-                builder.add_word(tok.value, tok.location)
-                continue
-            if tok.kind is TokenKind.KEYWORD and tok.value in _STORAGE_KEYWORDS:
-                self._next()
-                if storage is not None and storage != tok.value:
-                    raise ParseError(
-                        f"multiple storage classes ({storage!r}, {tok.value!r})",
-                        tok.location,
-                    )
-                storage = tok.value
-            elif tok.kind is TokenKind.KEYWORD and tok.value in _QUALIFIER_KEYWORDS:
-                self._next()
-                if tok.value != "inline":
-                    qualifiers.add(tok.value)
-            elif tok.kind is TokenKind.KEYWORD and tok.value in ("struct", "union"):
-                tagged = self._struct_or_union()
-            elif tok.kind is TokenKind.KEYWORD and tok.value == "enum":
-                tagged = self._enum()
-            elif tok.kind is TokenKind.KEYWORD and tok.value in _TYPE_KEYWORDS:
-                self._next()
-                type_words.append(tok.value)
+            kind = tok.kind
+            if kind is TokenKind.ANNOTATION:
+                self._collect_annotations(builder)
+                tok = self._peek()
+                kind = tok.kind
+                if kind is TokenKind.ANNOTATION:
+                    break  # a globals/modifies/uses clause: declarator's job
+            if kind is TokenKind.KEYWORD:
+                value = tok.value
+                if value in _TYPE_KEYWORDS:
+                    if value == "enum":
+                        tagged = self._enum()
+                    elif value in ("struct", "union"):
+                        tagged = self._struct_or_union()
+                    else:
+                        self._next()
+                        type_words.append(value)
+                elif value in _STORAGE_KEYWORDS:
+                    self._next()
+                    if storage is not None and storage != value:
+                        raise ParseError(
+                            f"multiple storage classes ({storage!r}, {value!r})",
+                            tok.location,
+                        )
+                    storage = value
+                elif value in _QUALIFIER_KEYWORDS:
+                    self._next()
+                    if value != "inline":
+                        qualifiers.add(value)
+                else:
+                    break
             elif (
-                tok.kind is TokenKind.IDENT
+                kind is TokenKind.IDENT
                 and not type_words
                 and tagged is None
                 and typedef_ref is None
-                and self.scope.lookup_typedef(tok.value) is not None
             ):
+                if (
+                    self.lcl_mode
+                    and tok.value in ANNOTATION_WORDS
+                    and self.scope.lookup_typedef(tok.value) is None
+                ):
+                    self._next()
+                    builder.add_word(tok.value, tok.location)
+                    continue
+                found = self.scope.lookup_typedef(tok.value)
+                if found is None:
+                    break
                 self._next()
-                typedef_ref = self.scope.lookup_typedef(tok.value)
+                typedef_ref = found
             else:
                 break
 
@@ -325,10 +366,10 @@ class Parser:
             name = _PRIMITIVE_COMBOS.get(key)
             if name is None:
                 raise ParseError(f"invalid type specifier {' '.join(type_words)!r}", start)
-            base = Primitive(name)
+            base = make_primitive(name)
         else:
             # implicit int (K&R); LCLint accepts it with a warning
-            base = Primitive("int")
+            base = make_primitive("int")
         for qual in qualifiers:
             base = add_qualifier(base, qual)
         self.problems.extend(builder.problems)
@@ -546,7 +587,7 @@ class Parser:
         tok = self._peek()
         if tok.is_punct("(") and self._is_nested_declarator():
             self._next()
-            inner = self._declarator(Primitive("int"), abstract=abstract)
+            inner = self._declarator(make_primitive("int"), abstract=abstract)
             self._expect(")")
         elif tok.kind is TokenKind.IDENT and not abstract:
             name = self._next().value
@@ -579,7 +620,7 @@ class Parser:
         # the base with the pointer prefixes first, then apply suffixes.
         ctype = base
         for quals in reversed(ptr_quals):
-            ctype = Pointer(ctype, frozenset(quals))
+            ctype = make_pointer(ctype, frozenset(quals))
         for kind, payload in reversed(suffixes):
             if kind == "array":
                 ctype = Array(ctype, payload)  # type: ignore[arg-type]
@@ -705,9 +746,9 @@ class Parser:
             self._next()
             return A.EmptyStmt(loc)
         if tok.kind is TokenKind.KEYWORD:
-            handler = getattr(self, f"_stmt_{tok.value}", None)
+            handler = self._STMT_HANDLERS.get(tok.value)
             if handler is not None:
-                return handler()
+                return handler(self)
         if (
             tok.kind is TokenKind.IDENT
             and self._peek(1).is_punct(":")
@@ -810,6 +851,16 @@ class Parser:
         self._expect(";")
         return A.Goto(loc, label=label.value)
 
+    #: Keyword -> unbound handler, replacing per-statement
+    #: ``getattr(self, f"_stmt_{...}")`` string formatting + lookup.
+    _STMT_HANDLERS = {
+        "if": _stmt_if, "while": _stmt_while, "do": _stmt_do,
+        "for": _stmt_for, "switch": _stmt_switch, "case": _stmt_case,
+        "default": _stmt_default, "break": _stmt_break,
+        "continue": _stmt_continue, "return": _stmt_return,
+        "goto": _stmt_goto,
+    }
+
     # -- expressions -----------------------------------------------------------
 
     def _expression(self) -> A.Expr:
@@ -822,7 +873,9 @@ class Parser:
             exprs.append(self._assignment_expression())
         return A.Comma(loc, exprs=exprs)
 
-    _ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=")
+    _ASSIGN_OPS = frozenset(
+        ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=")
+    )
 
     def _assignment_expression(self) -> A.Expr:
         lhs = self._conditional_expression()
@@ -834,14 +887,53 @@ class Parser:
         return lhs
 
     def _conditional_expression(self) -> A.Expr:
-        cond = self._binary_expression(0)
-        if self._peek().is_punct("?"):
+        cond = self._binary_expr()
+        tok = self._peek()
+        if tok.kind is TokenKind.PUNCT and tok.value == "?":
             loc = self._next().location
             then = self._expression()
             self._expect(":")
             other = self._conditional_expression()
             return A.Ternary(loc, cond=cond, then=then, other=other)
         return cond
+
+    #: Binary operator precedence (all left-associative in this grammar);
+    #: higher binds tighter. Level *i* of the reference grammar's
+    #: ``_BINARY_LEVELS`` corresponds to precedence ``i + 1`` here.
+    _BIN_PREC = {
+        "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+        "==": 6, "!=": 6,
+        "<": 7, ">": 7, "<=": 7, ">=": 7,
+        "<<": 8, ">>": 8,
+        "+": 9, "-": 9,
+        "*": 10, "/": 10, "%": 10,
+    }
+
+    def _table_binary_expression(self) -> A.Expr:
+        return self._binary_climb(1)
+
+    def _binary_climb(self, min_prec: int) -> A.Expr:
+        """Precedence-climbing binary-expression core (production engine).
+
+        One table lookup per operator replaces the reference grammar's
+        ten-deep recursive descent (which recursed through every level
+        even for a lone primary expression). Left-associativity is the
+        ``prec + 1`` on the right-operand climb; the resulting tree is
+        node-for-node identical to the reference engine's, which the
+        parser parity suite asserts.
+        """
+        expr = self._cast_expression()
+        prec_of = self._BIN_PREC
+        while True:
+            tok = self._peek()
+            if tok.kind is not TokenKind.PUNCT:
+                return expr
+            prec = prec_of.get(tok.value)
+            if prec is None or prec < min_prec:
+                return expr
+            self._next()
+            rhs = self._binary_climb(prec + 1)
+            expr = A.Binary(tok.location, op=tok.value, lhs=expr, rhs=rhs)
 
     _BINARY_LEVELS = (
         ("||",),
@@ -856,7 +948,11 @@ class Parser:
         ("*", "/", "%"),
     )
 
+    def _reference_binary_expression(self) -> A.Expr:
+        return self._binary_expression(0)
+
     def _binary_expression(self, level: int) -> A.Expr:
+        """Reference layered-grammar engine (retained for parity runs)."""
         if level >= len(self._BINARY_LEVELS):
             return self._cast_expression()
         ops = self._BINARY_LEVELS[level]
@@ -874,7 +970,11 @@ class Parser:
 
     def _cast_expression(self) -> A.Expr:
         tok = self._peek()
-        if tok.is_punct("(") and self._is_type_start(self._peek(1)):
+        if (
+            tok.kind is TokenKind.PUNCT
+            and tok.value == "("
+            and self._is_type_start(self._peek(1))
+        ):
             loc = self._next().location
             to_type = self._type_name()
             self._expect(")")
@@ -888,7 +988,7 @@ class Parser:
 
     def _is_type_start(self, tok: Token) -> bool:
         if tok.kind is TokenKind.KEYWORD:
-            return tok.value in _TYPE_KEYWORDS | _QUALIFIER_KEYWORDS
+            return tok.value in _TYPE_START_KEYWORDS
         if tok.kind is TokenKind.ANNOTATION:
             return True
         if tok.kind is TokenKind.IDENT:
@@ -907,13 +1007,13 @@ class Parser:
                 return A.SizeofType(loc, of_type=of_type)
             operand = self._unary_expression()
             return A.SizeofExpr(loc, operand=operand)
-        for op in ("++", "--"):
-            if tok.is_punct(op):
+        if tok.kind is TokenKind.PUNCT:
+            op = tok.value
+            if op in ("++", "--"):
                 self._next()
                 operand = self._unary_expression()
                 return A.Unary(loc, op=op, operand=operand)
-        for op in ("&", "*", "+", "-", "~", "!"):
-            if tok.is_punct(op):
+            if op in _UNARY_OPS:
                 self._next()
                 operand = self._cast_expression()
                 return A.Unary(loc, op=op, operand=operand)
@@ -921,14 +1021,20 @@ class Parser:
 
     def _postfix_expression(self) -> A.Expr:
         expr = self._primary_expression()
+        punct = TokenKind.PUNCT
         while True:
             tok = self._peek()
-            if tok.is_punct("["):
+            # One kind test up front, then value dispatch: this loop runs
+            # after every primary expression, and most exits are cold.
+            if tok.kind is not punct:
+                return expr
+            value = tok.value
+            if value == "[":
                 self._next()
                 index = self._expression()
                 self._expect("]")
                 expr = A.Index(tok.location, array=expr, index=index)
-            elif tok.is_punct("("):
+            elif value == "(":
                 self._next()
                 args: list[A.Expr] = []
                 if not self._peek().is_punct(")"):
@@ -937,19 +1043,19 @@ class Parser:
                         args.append(self._assignment_expression())
                 self._expect(")")
                 expr = A.Call(tok.location, func=expr, args=args)
-            elif tok.is_punct("."):
+            elif value == ".":
                 self._next()
                 name = self._next()
                 expr = A.Member(tok.location, obj=expr, fieldname=name.value,
                                 arrow=False)
-            elif tok.is_punct("->"):
+            elif value == "->":
                 self._next()
                 name = self._next()
                 expr = A.Member(tok.location, obj=expr, fieldname=name.value,
                                 arrow=True)
-            elif tok.is_punct("++") or tok.is_punct("--"):
+            elif value == "++" or value == "--":
                 self._next()
-                expr = A.Unary(tok.location, op="p" + tok.value, operand=expr)
+                expr = A.Unary(tok.location, op="p" + value, operand=expr)
             else:
                 return expr
 
@@ -1077,6 +1183,31 @@ def _decode_string(spelling: str) -> str:
             out.append(ch)
             i += 1
     return "".join(out)
+
+
+# -- engine selection ---------------------------------------------------------
+
+_DEFAULT_ENGINE = "table"
+
+
+@contextmanager
+def parser_engine(name: str):
+    """Temporarily switch the module-default expression-parsing engine.
+
+    ``name`` is ``"table"`` (production precedence climbing) or
+    ``"reference"`` (the retained layered recursive descent). The parser
+    parity suite and the benchmark harness use this to run both engines
+    over the same inputs, mirroring :func:`repro.frontend.lexer.lexer_engine`.
+    """
+    global _DEFAULT_ENGINE
+    if name not in ("table", "reference"):
+        raise ValueError(f"unknown parser engine {name!r}")
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = name
+    try:
+        yield
+    finally:
+        _DEFAULT_ENGINE = previous
 
 
 def parse_tokens(toks: list[Token], name: str = "<string>") -> A.TranslationUnit:

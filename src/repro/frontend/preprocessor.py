@@ -69,10 +69,16 @@ class Preprocessor:
         sources: SourceManager,
         defines: dict[str, str] | None = None,
         system_headers: dict[str, str] | None = None,
+        prelude_covered: frozenset[str] = frozenset(),
     ) -> None:
         self.sources = sources
         self.macros: dict[str, Macro] = {}
         self.system_headers = dict(system_headers or {})
+        # System headers whose declarations the caller guarantees are
+        # already in the program symbol table (the parsed prelude).
+        # Including one is recorded for the include closure but splices
+        # no tokens; see stdlib.specs.PRELUDE_COVERED_HEADERS.
+        self.prelude_covered = prelude_covered
         self._included: set[str] = set()
         #: Seconds spent inside the lexer (profiling; cache hits cost 0).
         self.lex_s = 0.0
@@ -258,6 +264,8 @@ class Preprocessor:
         if resolved in self._included:
             return  # every include behaves as if guarded; headers here are interfaces
         self._included.add(resolved)
+        if header in self.prelude_covered and resolved == f"<{header}>":
+            return  # declarations already provided by the parsed prelude
         out.extend(self._process_file(resolved, depth + 1))
 
     def _define(self, rest: list[Token], loc: Location) -> None:
@@ -644,15 +652,39 @@ def _split_lines(toks: list[Token]) -> list[list[Token]]:
     lines: list[list[Token]] = []
     current: list[Token] = []
     current_line = None
+    # Lexer-produced tokens of one file have nondecreasing offsets, so a
+    # forward cursor over the source's line-start table replaces the
+    # per-token bisect behind ``tok.line``. Tokens without a usable
+    # offset (macro-synthesized, pasted) fall back to ``tok.line``.
+    src = None
+    starts: list[int] = []
+    n_starts = 0
+    line_idx = 0
     for tok in toks:
-        # tok.line avoids materializing a Location per token (lazy tokens).
-        if current_line is None or tok.line != current_line:
+        off = tok._offset
+        s = tok._source
+        if s is not None and off >= 0:
+            if s is not src:
+                src = s
+                starts = s.line_starts
+                n_starts = len(starts)
+                line_idx = 0
+            if off < starts[line_idx]:  # out-of-order token: rare, exact
+                line = s.line_of(off)
+                line_idx = line - 1
+            else:
+                while line_idx + 1 < n_starts and off >= starts[line_idx + 1]:
+                    line_idx += 1
+                line = line_idx + 1
+        else:
+            line = tok.line
+        if line != current_line:
             # A directive only ends at a real newline; continuation lines were
             # already joined by the lexer's backslash-newline handling.
             if current:
                 lines.append(current)
             current = []
-            current_line = tok.line
+            current_line = line
         current.append(tok)
     if current:
         lines.append(current)

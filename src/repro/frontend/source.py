@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 _NEWLINE_RE = re.compile("\n")
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Location:
     """A position in a source file (1-based line and column)."""
 

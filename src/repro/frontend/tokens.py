@@ -70,7 +70,7 @@ class Token:
     ``Location`` is built on first access and cached.
     """
 
-    __slots__ = ("kind", "value", "_location", "_source", "_offset")
+    __slots__ = ("kind", "value", "_location", "_source", "_offset", "_fp")
 
     def __init__(
         self,
@@ -85,6 +85,12 @@ class Token:
         self._location = location
         self._source = source
         self._offset = offset
+        # ``_fp`` caches this token's fingerprint bytes (see
+        # ``incremental.fingerprint.unit_digests``). Header tokens are
+        # shared across every including unit via the preprocessor's
+        # per-file token cache, so the cache turns the dominant digest
+        # cost from per-unit into per-batch.
+        self._fp: bytes | None = None
 
     # -- location access --------------------------------------------------
 
@@ -155,3 +161,4 @@ class Token:
         self.kind, self.value, self._location = state
         self._source = None
         self._offset = -1
+        self._fp = None

@@ -26,12 +26,15 @@ import enum
 import hashlib
 
 from ..flags.registry import FLAG_REGISTRY, Flags
-from ..frontend.tokens import Token
+from ..frontend.tokens import Token, TokenKind
 from ..stdlib.specs import PRELUDE_DEFINES, PRELUDE_TEXT, SYSTEM_HEADERS
 
 #: Bump when checker or serialization semantics change: every cached
 #: result becomes unreachable and the cache rebuilds itself.
-ENGINE_VERSION = 1
+#: v2: per-unit interface digests moved from the reflective object-graph
+#: walk to the token-based digest (same invalidation contract, ~20x
+#: cheaper); old caches self-wipe with a visible rebuild note.
+ENGINE_VERSION = 2
 
 
 def _sha(*parts: str) -> str:
@@ -61,15 +64,27 @@ def defines_digest(defines: dict[str, str]) -> str:
     return _sha("defines", *parts)
 
 
+_PRELUDE_DIGEST: str | None = None
+
+
 def prelude_digest() -> str:
-    """Version digest of the annotated standard library the checker assumes."""
-    headers = [f"{name}:{text}" for name, text in sorted(SYSTEM_HEADERS.items())]
-    return _sha(
-        f"engine-v{ENGINE_VERSION}",
-        PRELUDE_TEXT,
-        defines_digest(dict(PRELUDE_DEFINES)),
-        *headers,
-    )
+    """Version digest of the annotated standard library the checker assumes.
+
+    The inputs are process-lifetime constants, so the digest is computed
+    once and memoized (it participates in every program digest).
+    """
+    global _PRELUDE_DIGEST
+    if _PRELUDE_DIGEST is None:
+        headers = [
+            f"{name}:{text}" for name, text in sorted(SYSTEM_HEADERS.items())
+        ]
+        _PRELUDE_DIGEST = _sha(
+            f"engine-v{ENGINE_VERSION}",
+            PRELUDE_TEXT,
+            defines_digest(dict(PRELUDE_DEFINES)),
+            *headers,
+        )
+    return _PRELUDE_DIGEST
 
 
 def token_stream_digest(tokens: list[Token]) -> str:
@@ -93,6 +108,150 @@ def token_stream_digest(tokens: list[Token]) -> str:
             )
         )
     return digest.hexdigest()
+
+
+def interface_token_digest(tokens: list[Token]) -> str:
+    """Digest of a unit's *interface* as seen in its token stream.
+
+    This is the hot-path replacement for :func:`interface_digest` (the
+    reflective object-graph walk over the symbol-table slice, which
+    dominated cold-run cost). The modular-checking contract says other
+    units may depend only on this unit's declared signatures, types,
+    annotations, and enum constants — all of which are spelled in the
+    token stream *outside* function bodies. So the digest covers every
+    token except the brace-balanced body of a function definition (a
+    ``{`` whose previous significant token closes a parameter list or is
+    a globals/modifies clause), and control comments (suppressions are
+    strictly unit-local).
+
+    Locations are included for the covered tokens, mirroring the old
+    digest (which hashed declaration ``Location`` fields): messages
+    emitted while checking *other* units may cite this unit's
+    declaration sites, so a moved declaration must change the digest. A
+    same-line body edit leaves every covered token — and therefore the
+    digest — unchanged, which is what keeps body edits re-checking only
+    their own unit.
+
+    The skip rule is conservative: any ``{`` it cannot prove starts a
+    function body (initializer lists, struct/union/enum bodies, K&R
+    definitions) is included, which can only over-invalidate, never
+    miss an interface change.
+    """
+    digest = hashlib.sha256()
+    update = digest.update
+    punct = TokenKind.PUNCT
+    control = TokenKind.CONTROL
+    annotation = TokenKind.ANNOTATION
+    n = len(tokens)
+    i = 0
+    prev_is_body_opener = False
+    while i < n:
+        tok = tokens[i]
+        kind = tok.kind
+        if kind is control:
+            i += 1
+            continue
+        value = tok.value
+        if value == "{" and kind is punct and prev_is_body_opener:
+            depth = 1
+            i += 1
+            while i < n and depth:
+                t = tokens[i]
+                if t.kind is punct:
+                    if t.value == "{":
+                        depth += 1
+                    elif t.value == "}":
+                        depth -= 1
+                i += 1
+            prev_is_body_opener = False
+            continue
+        filename, line, column = tok.coords()
+        update(
+            f"{kind.name}\x00{value}\x00"
+            f"{filename}\x00{line}\x00{column}\x01".encode(
+                "utf-8", "surrogatepass"
+            )
+        )
+        # A '{' directly after ')' opens a function body; so does one
+        # after a trailing /*@globals ...@*/ or /*@modifies ...@*/
+        # clause (which sits between the parameter list and the body).
+        if kind is punct:
+            prev_is_body_opener = value == ")"
+        elif kind is annotation:
+            first_word = value.split(None, 1)[:1]
+            prev_is_body_opener = first_word in (
+                ["globals"], ["modifies"], ["uses"]
+            )
+        else:
+            prev_is_body_opener = False
+        i += 1
+    return digest.hexdigest()
+
+
+def unit_digests(tokens: list[Token]) -> tuple[str, str]:
+    """``(token_stream_digest, interface_token_digest)`` in one pass.
+
+    The cold path needs both digests for every parsed unit; fusing the
+    loops halves the dominant per-token cost (coords + formatting), and
+    the per-token byte sequences are identical to the standalone
+    functions, so cache keys are unchanged.
+    """
+    full = hashlib.sha256()
+    iface = hashlib.sha256()
+    full_update = full.update
+    iface_update = iface.update
+    punct = TokenKind.PUNCT
+    control = TokenKind.CONTROL
+    annotation = TokenKind.ANNOTATION
+    n = len(tokens)
+    i = 0
+    body_depth = 0  # >0 while inside a skippable function body
+    prev_is_body_opener = False
+    while i < n:
+        tok = tokens[i]
+        kind = tok.kind
+        value = tok.value
+        part = tok._fp
+        if part is None:
+            filename, line, column = tok.coords()
+            part = (
+                f"{kind.name}\x00{value}\x00"
+                f"{filename}\x00{line}\x00{column}\x01".encode(
+                    "utf-8", "surrogatepass"
+                )
+            )
+            # Safe to memoize: kind/value/coords are immutable once the
+            # token exists, and header tokens are shared between units.
+            tok._fp = part
+        full_update(part)
+        if body_depth:
+            if kind is punct:
+                if value == "{":
+                    body_depth += 1
+                elif value == "}":
+                    body_depth -= 1
+            i += 1
+            continue
+        if kind is control:
+            i += 1
+            continue
+        if value == "{" and kind is punct and prev_is_body_opener:
+            body_depth = 1
+            prev_is_body_opener = False
+            i += 1
+            continue
+        iface_update(part)
+        if kind is punct:
+            prev_is_body_opener = value == ")"
+        elif kind is annotation:
+            first_word = value.split(None, 1)[:1]
+            prev_is_body_opener = first_word in (
+                ["globals"], ["modifies"], ["uses"]
+            )
+        else:
+            prev_is_body_opener = False
+        i += 1
+    return full.hexdigest(), iface.hexdigest()
 
 
 def source_key(name: str, text: str, defines: dict[str, str]) -> str:
@@ -119,10 +278,19 @@ def program_digest(
 
 
 def check_fingerprint(
-    token_digest: str, flags: Flags, prog_digest: str
+    token_digest: str,
+    flags: Flags,
+    prog_digest: str,
+    flags_fp: str | None = None,
 ) -> str:
-    """The cache key for one unit's check result."""
-    return _sha("check", token_digest, flags_digest(flags), prog_digest)
+    """The cache key for one unit's check result.
+
+    Callers fingerprinting many units against one configuration pass the
+    precomputed ``flags_fp`` so the flag digest is hashed once per run.
+    """
+    if flags_fp is None:
+        flags_fp = flags_digest(flags)
+    return _sha("check", token_digest, flags_fp, prog_digest)
 
 
 # -- interface digests --------------------------------------------------------

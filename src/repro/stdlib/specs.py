@@ -139,3 +139,25 @@ SYSTEM_HEADERS: dict[str, str] = {
         "extern double ceil(double x);\n"
     ),
 }
+
+# Headers above whose every declaration line already appears in
+# PRELUDE_TEXT. Since the parsed prelude is merged into every program
+# symbol table ahead of the units (and unit parsers are pre-seeded with
+# its typedefs/tags/enum constants), including one of these headers adds
+# no information a unit check can observe -- the preprocessor can skip
+# splicing their tokens entirely, which removes the dominant share of
+# every unit's cold-path token volume. Computed, not hand-listed, so a
+# header gaining a declaration the prelude lacks drops out automatically.
+_PRELUDE_LINES = frozenset(
+    line for line in PRELUDE_TEXT.splitlines() if line.strip()
+)
+
+PRELUDE_COVERED_HEADERS: frozenset[str] = frozenset(
+    name
+    for name, text in SYSTEM_HEADERS.items()
+    if all(
+        line in _PRELUDE_LINES
+        for line in text.splitlines()
+        if line.strip()
+    )
+)
