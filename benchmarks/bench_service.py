@@ -1,0 +1,476 @@
+"""BENCH-SERVICE: chaos-load harness for the asyncio checking service.
+
+Launches ``python -m repro.service`` as a real subprocess and throws a
+hostile client population at it — concurrent checkers, slow-loris
+connections, oversized lines, malformed JSON, mid-request disconnects,
+checks of a poisoned source file — then SIGTERMs it mid-batch. The
+acceptance properties, asserted both under pytest and in script mode:
+
+* the service never dies: every well-behaved request gets a reply
+  (modulo bounded ``busy`` backpressure, which is retried);
+* every surviving check reply is byte-identical to a one-shot CLI run
+  of the same arguments;
+* SIGTERM drains gracefully: exit code 0, and every reply that does
+  arrive during the drain is still well-formed;
+* the shared result cache is fully intact afterwards
+  (``verify_integrity()`` reports zero corrupt entries);
+* p50/p99 request latency is recorded (client-side and service-side).
+
+Runs two ways:
+
+* under pytest (collected with the rest of the benchmark suite) at a
+  reduced scale, and
+* as a script --
+  ``PYTHONPATH=src python benchmarks/bench_service.py [out.json]
+  [--clients N] [--requests M]`` writes the full summary to
+  ``BENCH_service.json`` (defaults: 200 clients).
+"""
+
+import json
+import os
+import signal
+import socket
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+    )
+
+from repro.driver import cli
+from repro.incremental.cache import ResultCache
+from repro.service.client import ServiceClient
+from repro.service.protocol import MAX_REQUEST_BYTES
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Retries a client grants the service when turned away busy.
+BUSY_RETRIES = 50
+
+GOOD_SOURCE = (
+    "#include <stdlib.h>\n"
+    "char *dup8(const char *s) {\n"
+    "  char *p = (char *) malloc(8);\n"
+    "  *p = *s;\n"
+    "  return p;\n"
+    "}\n"
+)
+
+#: Unparseable on purpose: the checker must degrade the unit, reply
+#: deterministically, and never cache the poisoned result.
+POISONED_SOURCE = "int f( { @@@ 1x2x3 ))) \"unterminated\n#define\n"
+
+
+class ChaosResult:
+    """Shared tally across client threads (lock around every update)."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.replies_ok = 0
+        self.replies_mismatched = 0
+        self.busy_retried = 0
+        self.busy_exhausted = 0
+        self.errors_by_kind = {}
+        self.client_failures = []
+        self.latencies_s = []
+
+    def note_kind(self, kind: str) -> None:
+        with self.lock:
+            self.errors_by_kind[kind] = self.errors_by_kind.get(kind, 0) + 1
+
+    def fail(self, message: str) -> None:
+        with self.lock:
+            self.client_failures.append(message)
+
+
+class ServiceProcess:
+    """The service under test, as a real subprocess."""
+
+    def __init__(self, cache_dir: str, max_inflight: int = 256,
+                 request_timeout: float = 30.0, workers: int = 4) -> None:
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        # stderr goes to a file, not a pipe: nobody drains a pipe during
+        # the storm, and a full pipe would wedge the service.
+        self.stderr_path = cache_dir + ".stderr"
+        stderr_handle = open(self.stderr_path, "w", encoding="utf-8")
+        try:
+            self.proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.service",
+                    "--addr", "127.0.0.1:0",
+                    "--cache-dir", cache_dir,
+                    "--max-inflight", str(max_inflight),
+                    "--request-timeout", str(request_timeout),
+                    "--workers", str(workers),
+                ],
+                cwd=REPO_ROOT, env=env,
+                stdout=subprocess.PIPE, stderr=stderr_handle, text=True,
+            )
+        finally:
+            stderr_handle.close()
+        line = self.proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                "service did not announce itself: " + self.stderr_tail()
+            )
+        self.serving = json.loads(line)
+        host, port = self.serving["addr"].rsplit(":", 1)
+        self.host, self.port = host, int(port)
+
+    def stderr_tail(self, limit: int = 4000) -> str:
+        try:
+            with open(self.stderr_path, "r", encoding="utf-8") as handle:
+                return handle.read()[-limit:]
+        except OSError:
+            return ""
+
+    def client(self, timeout: float = 60.0) -> ServiceClient:
+        return ServiceClient.connect_tcp(self.host, self.port,
+                                         timeout=timeout)
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def terminate_and_wait(self, timeout: float = 60.0) -> int:
+        if self.alive():
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            self.proc.wait(timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(30)
+            return -9
+        return self.proc.returncode
+
+    def kill(self) -> None:
+        if self.alive():
+            self.proc.kill()
+            self.proc.wait(30)
+
+
+def _checked_request(client, argv, request_id, oracle, tally):
+    """One check with busy-retry; compares the reply against *oracle*."""
+    for _ in range(BUSY_RETRIES):
+        t0 = time.perf_counter()
+        reply = client.check(argv, request_id=request_id)
+        elapsed = time.perf_counter() - t0
+        if reply is None:
+            tally.fail(f"{request_id}: connection dropped mid-request")
+            return None
+        if reply.get("kind") == "busy":
+            with tally.lock:
+                tally.busy_retried += 1
+            time.sleep(reply.get("retry_after_ms", 100) / 1000.0)
+            continue
+        if reply.get("id") != request_id:
+            tally.fail(f"{request_id}: got reply for {reply.get('id')!r}")
+            return reply
+        if "error" in reply:
+            tally.note_kind(reply.get("kind", "unknown"))
+            return reply
+        with tally.lock:
+            tally.latencies_s.append(elapsed)
+            if (reply["status"], reply["output"]) == oracle:
+                tally.replies_ok += 1
+            else:
+                tally.replies_mismatched += 1
+                tally.fail(
+                    f"{request_id}: reply differs from one-shot CLI "
+                    f"(status {reply['status']} vs {oracle[0]})"
+                )
+        return reply
+    with tally.lock:
+        tally.busy_exhausted += 1
+    return None
+
+
+def _well_behaved(service, argv, oracle, tally, count):
+    try:
+        with service.client() as client:
+            for n in range(count):
+                _checked_request(
+                    client, argv, f"req-{threading.get_ident()}-{n}",
+                    oracle, tally,
+                )
+    except Exception as exc:
+        tally.fail(f"well-behaved client crashed: {exc!r}")
+
+
+def _slow_loris(service, tally):
+    """Dribbles a never-terminated line, then vanishes."""
+    try:
+        with service.client(timeout=10) as client:
+            for _ in range(5):
+                client.send_bytes(b'{"id": 1, "argv": ["dribble')
+                time.sleep(0.05)
+    except Exception:
+        pass  # the loris's own fate is not interesting
+
+
+def _oversized_then_good(service, argv, oracle, tally):
+    try:
+        with service.client() as client:
+            huge = ('{"id": "big", "argv": ["'
+                    + "x" * (MAX_REQUEST_BYTES + 16) + '"]}')
+            client.send_line(huge)
+            reply = client.recv_reply()
+            if reply is None or reply.get("kind") != "oversized":
+                tally.fail(f"oversized line got {reply!r}")
+            else:
+                tally.note_kind("oversized")
+            _checked_request(client, argv, "after-oversized", oracle, tally)
+    except Exception as exc:
+        tally.fail(f"oversized client crashed: {exc!r}")
+
+
+def _malformed_then_good(service, argv, oracle, tally):
+    try:
+        with service.client() as client:
+            client.send_line('{"id": "mangled", "argv": ["a.c"')
+            reply = client.recv_reply()
+            if reply is None or reply.get("kind") != "protocol":
+                tally.fail(f"malformed line got {reply!r}")
+            elif reply.get("id") != "mangled":
+                tally.fail(f"malformed reply lost the id: {reply!r}")
+            else:
+                tally.note_kind("protocol")
+            _checked_request(client, argv, "after-malformed", oracle, tally)
+    except Exception as exc:
+        tally.fail(f"malformed client crashed: {exc!r}")
+
+
+def _disconnector(service, argv):
+    """Sends a request and vanishes without reading the reply."""
+    try:
+        client = service.client(timeout=10)
+        client.send_line(json.dumps({"id": "gone", "argv": argv}))
+        client.close()
+    except Exception:
+        pass
+
+
+def _metrics_probe(service, tally):
+    try:
+        with service.client() as client:
+            reply = client.metrics(request_id="probe")
+            if reply is None or "metrics" not in reply:
+                tally.fail(f"metrics probe got {reply!r}")
+    except Exception as exc:
+        tally.fail(f"metrics probe crashed: {exc!r}")
+
+
+def _percentiles_ms(latencies_s):
+    if not latencies_s:
+        return {"p50": 0.0, "p99": 0.0, "count": 0}
+    ordered = sorted(latencies_s)
+
+    def pick(q):
+        index = min(len(ordered) - 1, max(0, round(q * len(ordered)) - 1))
+        return round(ordered[index] * 1000, 3)
+
+    return {"p50": pick(0.5), "p99": pick(0.99), "count": len(ordered)}
+
+
+def run_chaos(clients: int = 200, requests: int = 5,
+              max_inflight: int = 256) -> dict:
+    """The full scenario; returns the BENCH_service summary dict."""
+    with tempfile.TemporaryDirectory(prefix="pylclint-svc-") as work:
+        good = os.path.join(work, "good.c")
+        with open(good, "w", encoding="utf-8") as handle:
+            handle.write(GOOD_SOURCE)
+        poisoned = os.path.join(work, "poisoned.c")
+        with open(poisoned, "w", encoding="utf-8") as handle:
+            handle.write(POISONED_SOURCE)
+        good_argv = ["-quiet", good]
+        poisoned_argv = ["-quiet", poisoned]
+        # One-shot oracles, computed in-process without any cache.
+        good_oracle = cli.run(list(good_argv))
+        poisoned_oracle = cli.run(list(poisoned_argv))
+
+        cache_dir = os.path.join(work, "cache")
+        tally = ChaosResult()
+        service = ServiceProcess(cache_dir, max_inflight=max_inflight)
+        try:
+            threads = []
+            for index in range(clients):
+                role = index % 10
+                if role == 7:
+                    target = (_slow_loris, (service, tally))
+                elif role == 8:
+                    target = (_oversized_then_good,
+                              (service, good_argv, good_oracle, tally))
+                elif role == 9:
+                    target = (_malformed_then_good,
+                              (service, good_argv, good_oracle, tally))
+                elif role == 6:
+                    target = (_disconnector, (service, good_argv))
+                elif role == 5:
+                    target = (_well_behaved,
+                              (service, poisoned_argv, poisoned_oracle,
+                               tally, requests))
+                elif role == 4:
+                    target = (_metrics_probe, (service, tally))
+                else:
+                    target = (_well_behaved,
+                              (service, good_argv, good_oracle, tally,
+                               requests))
+                threads.append(
+                    threading.Thread(target=target[0], args=target[1])
+                )
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(300)
+            storm_s = time.perf_counter() - t0
+            still_alive = service.alive()
+
+            # Service-side latency summary, straight from the wire.
+            service_latency = {}
+            try:
+                with service.client() as client:
+                    reply = client.metrics(request_id="final")
+                    service_latency = reply.get("latency", {})
+            except Exception:
+                pass
+
+            # SIGTERM mid-batch: start one more wave, pull the trigger
+            # while it is inflight, and require a graceful drain.
+            drain_tally = ChaosResult()
+            drain_threads = [
+                threading.Thread(
+                    target=_well_behaved,
+                    args=(service, good_argv, good_oracle, drain_tally, 2),
+                )
+                for _ in range(max(4, clients // 10))
+            ]
+            for thread in drain_threads:
+                thread.start()
+            time.sleep(0.1)
+            drain_t0 = time.perf_counter()
+            exit_code = service.terminate_and_wait()
+            drain_s = time.perf_counter() - drain_t0
+            for thread in drain_threads:
+                thread.join(120)
+        finally:
+            service.kill()
+
+        # Drain-wave clients may race the shutdown: a dropped connection
+        # or shutting-down reply is fine, a *wrong* reply is not.
+        drain_ok = drain_tally.replies_mismatched == 0
+
+        cache_report = ResultCache(cache_dir).verify_integrity()
+        stderr_tail = service.stderr_tail()
+
+        return {
+            "benchmark": "service chaos load",
+            "clients": clients,
+            "requests_per_client": requests,
+            "max_inflight": max_inflight,
+            "storm_s": round(storm_s, 3),
+            "alive_after_storm": still_alive,
+            "replies_ok": tally.replies_ok,
+            "replies_mismatched": tally.replies_mismatched,
+            "busy_retried": tally.busy_retried,
+            "busy_exhausted": tally.busy_exhausted,
+            "error_replies": tally.errors_by_kind,
+            "client_failures": tally.client_failures[:20],
+            "identical_to_one_shot": tally.replies_mismatched == 0
+            and tally.replies_ok > 0,
+            "latency_client_ms": _percentiles_ms(tally.latencies_s),
+            "latency_service_ms": service_latency,
+            "drain": {
+                "exit_code": exit_code,
+                "drain_s": round(drain_s, 3),
+                "replies_ok": drain_tally.replies_ok,
+                "clean": drain_ok,
+            },
+            "cache": cache_report,
+            "stderr_tail": stderr_tail,
+        }
+
+
+def assert_chaos_acceptance(summary: dict) -> None:
+    assert summary["alive_after_storm"], summary["stderr_tail"]
+    assert not summary["client_failures"], summary["client_failures"]
+    assert summary["identical_to_one_shot"], summary
+    assert summary["busy_exhausted"] == 0, summary
+    assert summary["drain"]["exit_code"] == 0, summary["stderr_tail"]
+    assert summary["drain"]["clean"], summary
+    assert summary["cache"]["corrupt"] == 0, summary["cache"]
+    assert summary["latency_client_ms"]["count"] > 0
+
+
+def test_service_survives_chaos_load(benchmark, table_printer):
+    clients = int(os.environ.get("BENCH_SERVICE_CLIENTS", "40"))
+    requests = int(os.environ.get("BENCH_SERVICE_REQUESTS", "3"))
+    summary = benchmark.pedantic(
+        run_chaos, kwargs={"clients": clients, "requests": requests},
+        rounds=1, iterations=1,
+    )
+    table_printer("BENCH-SERVICE: chaos load", [{
+        "clients": summary["clients"],
+        "replies_ok": summary["replies_ok"],
+        "busy_retried": summary["busy_retried"],
+        "p50_ms": summary["latency_client_ms"]["p50"],
+        "p99_ms": summary["latency_client_ms"]["p99"],
+        "drain_exit": summary["drain"]["exit_code"],
+        "cache_corrupt": summary["cache"]["corrupt"],
+    }])
+    assert_chaos_acceptance(summary)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    out_path = "BENCH_service.json"
+    clients, requests = 200, 5
+    i = 0
+    positional = []
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--clients":
+            i += 1
+            clients = int(argv[i])
+        elif arg.startswith("--clients="):
+            clients = int(arg.split("=", 1)[1])
+        elif arg == "--requests":
+            i += 1
+            requests = int(argv[i])
+        elif arg.startswith("--requests="):
+            requests = int(arg.split("=", 1)[1])
+        else:
+            positional.append(arg)
+        i += 1
+    if positional:
+        out_path = positional[0]
+
+    summary = run_chaos(clients=clients, requests=requests)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    client_ms = summary["latency_client_ms"]
+    print(
+        f"{summary['clients']} clients: {summary['replies_ok']} ok, "
+        f"{summary['busy_retried']} busy-retried, "
+        f"p50 {client_ms['p50']}ms p99 {client_ms['p99']}ms, "
+        f"drain exit {summary['drain']['exit_code']}, "
+        f"cache corrupt {summary['cache']['corrupt']}; wrote {out_path}"
+    )
+    try:
+        assert_chaos_acceptance(summary)
+    except AssertionError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

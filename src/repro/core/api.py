@@ -33,6 +33,7 @@ from ..frontend.preprocessor import PreprocessError, Preprocessor
 from ..frontend.source import SourceManager
 from .faults import (
     FatalError,
+    cancel_checkpoint,
     frontend_fatal,
     internal_fatal,
     write_crash_bundle,
@@ -590,6 +591,7 @@ class Checker:
 
             outputs = []
             for pu in parsed:
+                cancel_checkpoint()  # requests stop at unit boundaries
                 with self.tracer.span("unit", cat="unit", unit=pu.unit.name):
                     outputs.append(check_parsed_unit(
                         pu, symtab, self.flags, enum_consts,
@@ -622,6 +624,7 @@ class Checker:
                 self.sources.add(name, text)
         for name, text in files.items():
             if not name.endswith(".h"):
+                cancel_checkpoint()
                 units.append(self.parse_unit(text, name))
         return self.check_units(units)
 

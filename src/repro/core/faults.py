@@ -32,8 +32,10 @@ import hashlib
 import json
 import os
 import sys
+import threading
 import time
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..frontend.source import Location
@@ -48,6 +50,78 @@ MAX_CRASH_BUNDLES = 200
 
 #: Schema stamp inside each bundle, for tooling that reads them.
 CRASH_BUNDLE_FORMAT = 1
+
+
+class RequestCancelled(BaseException):
+    """The active :class:`CancelScope` asked this request to stop.
+
+    Deliberately a ``BaseException``: the containment layers catch
+    ``Exception`` to keep a batch alive past a buggy unit, but a
+    cancelled request must *not* be contained — it has to unwind all the
+    way out to whoever owns the deadline (the checking service), like
+    ``KeyboardInterrupt`` does.
+    """
+
+
+class CancelScope:
+    """A cooperative cancellation token for one checking request.
+
+    The service arms a scope per request (deadline expiry, client
+    disconnect, drain); the engine calls :func:`cancel_checkpoint`
+    between translation units. Cancellation is therefore cooperative
+    and unit-granular: a request stops at the next unit boundary, never
+    mid-unit, so partial results are never written.
+
+    Thread-safe by construction (a ``threading.Event``), because the
+    service runs the synchronous engine on worker threads while the
+    event loop owns the deadline timers.
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: str = "cancelled"
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def checkpoint(self) -> None:
+        if self._event.is_set():
+            GLOBAL_METRICS.inc("faults.cancelled_requests")
+            raise RequestCancelled(self.reason)
+
+
+_SCOPES = threading.local()
+
+
+@contextmanager
+def cancel_scope(scope: CancelScope):
+    """Install *scope* as this thread's active cancellation token."""
+    previous = getattr(_SCOPES, "active", None)
+    _SCOPES.active = scope
+    try:
+        yield scope
+    finally:
+        _SCOPES.active = previous
+
+
+def active_cancel_scope() -> CancelScope | None:
+    return getattr(_SCOPES, "active", None)
+
+
+def cancel_checkpoint() -> None:
+    """Raise :class:`RequestCancelled` if this thread's request was
+    cancelled; a no-op (one thread-local read) otherwise. The engine
+    calls this at unit boundaries."""
+    scope = getattr(_SCOPES, "active", None)
+    if scope is not None:
+        scope.checkpoint()
 
 
 @dataclass(frozen=True)

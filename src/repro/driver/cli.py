@@ -41,9 +41,25 @@ Incremental & parallel checking (see docs/internals.md):
     --cache                 cache per-unit results under .pylclint-cache/
     --cache-dir DIR         cache per-unit results under DIR
     --no-cache              disable the result cache
-    --daemon                serve repeated check requests over stdin/stdout
-                            (cache on by default; combine with --jobs,
+
+Checking service (see docs/internals.md section 9):
+
+    --serve                 run the async multi-client checking service
+                            (cache on by default; combine with --addr,
+                            --max-inflight, --request-timeout, --jobs,
                             --cache-dir, --no-cache)
+    --addr ADDR             listen address: HOST:PORT for TCP on
+                            localhost, or unix:PATH for a UNIX socket;
+                            repeatable (default 127.0.0.1:0, port
+                            printed in the ready line)
+    --max-inflight N        bound on admitted (queued + running)
+                            requests; beyond it clients get a busy
+                            reply with retry_after_ms (default 64)
+    --request-timeout S     default per-request deadline in seconds
+                            (a request's own "timeout" field overrides)
+    --daemon                legacy single-client stdin/stdout server
+                            (kept as a compatibility shim over the same
+                            protocol; prefer --serve)
 
 Header files named on the command line are registered for ``#include``
 resolution; every other file is checked as a translation unit.
@@ -62,6 +78,7 @@ Exit-code contract (stable; build systems may rely on it):
 from __future__ import annotations
 
 import sys
+import threading
 import time
 
 from ..analysis.cfg import build_cfg
@@ -76,10 +93,19 @@ EXIT_WARNINGS = 1
 EXIT_USAGE = 2
 EXIT_INTERNAL_CONTAINED = 3
 
-#: Engine statistics of the most recent incremental run (None when the
-#: classic one-shot path ran). The daemon reads this to report per-request
-#: cache traffic without changing run()'s (status, output) contract.
-LAST_RUN_STATS = None
+#: Engine statistics of the most recent incremental run on *this
+#: thread* (None when the classic one-shot path ran). The daemon shim
+#: and the checking service read this — as ``cli.LAST_RUN_STATS``, via
+#: the module ``__getattr__`` below — to report per-request cache
+#: traffic without changing run()'s (status, output) contract.
+#: Thread-local because the service runs requests on worker threads.
+_RUN_STATS = threading.local()
+
+
+def __getattr__(name: str):
+    if name == "LAST_RUN_STATS":
+        return getattr(_RUN_STATS, "value", None)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class CliError(Exception):
@@ -125,8 +151,7 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
     :class:`~repro.incremental.cache.ResultCache` and worker count; the
     command line can still override both per request.
     """
-    global LAST_RUN_STATS
-    LAST_RUN_STATS = None
+    _RUN_STATS.value = None
     run_t0 = time.perf_counter()
     paths: list[str] = []
     flag_args: list[str] = []
@@ -154,6 +179,11 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
             raise CliError(
                 "--daemon starts a server session; invoke it through the "
                 "pylclint entry point or python -m repro.incremental.server"
+            )
+        if arg in ("--serve", "-serve"):
+            raise CliError(
+                "--serve starts the checking service; invoke it through "
+                "the pylclint entry point or python -m repro.service"
             )
         if arg == "-dump":
             i += 1
@@ -292,7 +322,7 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
                 result = checker.check_sources(files)
                 stats = checker.stats
                 stats.prologue_s = prologue_s
-                LAST_RUN_STATS = stats
+                _RUN_STATS.value = stats
                 for note in stats.notes:
                     out.append(f"pylclint: warning: {note}")
             else:
@@ -415,6 +445,12 @@ def main(argv: list[str] | None = None) -> int:
         from ..difftest.cli import main as difftest_main
 
         return difftest_main(args[1:])
+    if "--serve" in args or "-serve" in args:
+        from ..service.server import run_service
+
+        return run_service(
+            [a for a in args if a not in ("--serve", "-serve")]
+        )
     if "--daemon" in args or "-daemon" in args:
         from ..incremental.server import run_daemon
 

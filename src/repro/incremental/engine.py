@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 import pickle
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..core.api import (
@@ -37,6 +38,7 @@ from ..core.api import (
     unit_interface,
 )
 from ..core.faults import (
+    cancel_checkpoint,
     frontend_fatal,
     internal_fatal,
     write_crash_bundle,
@@ -305,8 +307,10 @@ class IncrementalChecker:
             batch_span.annotate(units=len(plans))
 
             # Phase 1: identify every unit (memo fast path or
-            # preprocess+parse).
+            # preprocess+parse). The cancel checkpoints make a service
+            # request stop at unit boundaries once its deadline fires.
             for plan in plans:
+                cancel_checkpoint()
                 with self.tracer.span(
                     "unit", cat="unit", unit=plan.name, stage="frontend"
                 ):
@@ -355,6 +359,7 @@ class IncrementalChecker:
             # Phase 5: check the misses (parallel when asked and possible).
             if misses:
                 for plan in misses:
+                    cancel_checkpoint()
                     if plan.parsed is None:
                         with self.tracer.span(
                             "unit", cat="unit", unit=plan.name,
@@ -374,6 +379,7 @@ class IncrementalChecker:
                     if outputs is None:
                         outputs = []
                         for p in misses:
+                            cancel_checkpoint()
                             with self.tracer.span(
                                 "unit", cat="unit", unit=p.name,
                                 stage="analyze",
@@ -393,17 +399,21 @@ class IncrementalChecker:
                     check_span.end()
                 stats.check_s += check_span.duration
                 with self.tracer.span("cache", cat="phase") as write_span:
-                    for plan, output in zip(misses, outputs):
-                        plan.output = output
-                        # Degraded results (parse recovery, skipped files,
-                        # contained crashes) are never cached: the unit must
-                        # be re-checked from scratch on every run until it
-                        # is fixed.
-                        if self.cache is not None and not output.degraded:
-                            self.cache.put_result(
-                                plan.fingerprint, output.messages,
-                                output.suppressed
-                            )
+                    # One journal append for the whole batch instead of
+                    # one file write per unit (see cache.batch()).
+                    with self.cache.batch() if self.cache is not None \
+                            else nullcontext():
+                        for plan, output in zip(misses, outputs):
+                            plan.output = output
+                            # Degraded results (parse recovery, skipped
+                            # files, contained crashes) are never cached:
+                            # the unit must be re-checked from scratch on
+                            # every run until it is fixed.
+                            if self.cache is not None and not output.degraded:
+                                self.cache.put_result(
+                                    plan.fingerprint, output.messages,
+                                    output.suppressed
+                                )
                 stats.cache_s += write_span.duration
 
             messages, suppressed = merge_unit_outputs(

@@ -1,27 +1,30 @@
-"""Batch/daemon driver: ``pylclint --daemon`` / ``python -m repro.incremental.server``.
+"""Legacy batch/daemon driver: ``pylclint --daemon`` — now a thin,
+synchronous compatibility shim over :mod:`repro.service.protocol`.
 
-Build systems that invoke the checker once per edit pay Python startup
-plus a prelude parse on every call. The daemon keeps those warm in one
-long-lived process and answers repeated check requests over a simple
-line protocol on stdin/stdout:
+The real server is the asyncio multi-client checking service
+(``pylclint --serve``, :mod:`repro.service.server`); this shim keeps
+the original single-client stdin/stdout transport alive for build
+systems that pipe into it. Both speak the same protocol and share the
+same request parser and check executor, so for any request line the
+shim and the service produce the same reply (the property suite in
+``tests/property/test_service_framing.py`` holds them to it):
 
-* request — one line, either a JSON array of CLI arguments
-  (``["-quiet", "src/a.c"]``) or a plain shell-style command line
-  (``-quiet src/a.c``);
-* ``metrics`` (plain or as ``["metrics"]``) — replies with a snapshot of
-  the process-lifetime metrics registry (cache traffic, dropped cache
-  entries, degraded units, request counts by exit status, ...) instead
-  of running a check;
-* response — one JSON object per line:
-  ``{"id": n, "status": <exit status>, "output": "...", "stats": {...}}``
-  (an ``"error"`` key replaces ``"output"`` for malformed or failed
-  requests; ``status`` follows the CLI exit-code contract — 2 for bad
-  requests/input, 3 for a contained internal error);
+* request — one line: a JSON array of CLI arguments
+  (``["-quiet", "src/a.c"]``), a plain shell-style command line
+  (``-quiet src/a.c``), or the object form
+  (``{"id": 7, "argv": [...], ...}``) documented in
+  :mod:`repro.service.protocol`;
+* ``metrics`` — replies with a snapshot of the process-lifetime
+  metrics registry instead of running a check;
+* response — one JSON object per line; see the reply schema in
+  :mod:`repro.service.protocol` (and docs/internals.md §9);
 * ``shutdown`` (or EOF) ends the session with a summary line.
 
 The daemon never dies on a request: malformed JSON, oversized lines
-(over :data:`MAX_REQUEST_BYTES`), and internal checker errors all get an
-error reply, and the next request is served normally.
+(over :data:`MAX_REQUEST_BYTES`), and internal checker errors all get
+an error reply — echoing the client's request ``id`` whenever one can
+be recovered from the broken line — and the next request is served
+normally.
 
 Every request runs with the persistent result cache enabled, so a
 rebuild that re-checks an unchanged file is answered from cache without
@@ -31,18 +34,30 @@ preprocessing, parsing, or checking.
 from __future__ import annotations
 
 import json
-import shlex
 import sys
 from dataclasses import dataclass, field
 
 from ..core.api import ensure_process_initialized
 from ..obs.metrics import GLOBAL_METRICS
+from ..service.protocol import (
+    MAX_REQUEST_BYTES,
+    ProtocolError,
+    error_reply,
+    execute_check,
+    metrics_reply,
+    oversized_reply,
+    parse_request_line,
+    recover_request_id,
+)
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 
-#: Hard cap on one request line. A client that streams a huge (or
-#: unterminated) line gets an error reply instead of exhausting memory
-#: or wedging the daemon.
-MAX_REQUEST_BYTES = 1 << 20
+__all__ = [
+    "MAX_REQUEST_BYTES",
+    "DaemonStats",
+    "DaemonServer",
+    "run_daemon",
+    "main",
+]
 
 
 @dataclass
@@ -57,7 +72,7 @@ class DaemonStats:
 
 
 class DaemonServer:
-    """One daemon session over a pair of line streams."""
+    """One single-client daemon session over a pair of line streams."""
 
     def __init__(
         self,
@@ -85,7 +100,10 @@ class DaemonServer:
                 continue
             if line in ("shutdown", "quit", "exit"):
                 break
-            self._send(self.handle_line(line))
+            reply = self.handle_line(line)
+            self._send(reply)
+            if reply.get("shutdown"):
+                break
         self._send({
             "bye": True,
             "requests": self.stats.requests,
@@ -97,84 +115,45 @@ class DaemonServer:
 
     def handle_line(self, line: str) -> dict:
         self.stats.requests += 1
-        request_id = self.stats.requests
+        fallback_id = self.stats.requests
         if len(line) > MAX_REQUEST_BYTES:
             self.stats.errors += 1
-            return {
-                "id": request_id, "status": 2,
-                "error": (
-                    f"request too large ({len(line)} bytes; "
-                    f"limit {MAX_REQUEST_BYTES})"
-                ),
-            }
+            GLOBAL_METRICS.inc("daemon.requests.oversized")
+            request_id = recover_request_id(line[:4096])
+            return oversized_reply(
+                fallback_id if request_id is None else request_id, len(line)
+            )
         try:
-            argv = self._parse_request(line)
-        except ValueError as exc:
+            request = parse_request_line(line)
+        except ProtocolError as exc:
             self.stats.errors += 1
             GLOBAL_METRICS.inc("daemon.requests.malformed")
-            return {"id": request_id, "status": 2, "error": str(exc)}
-        if argv == ["metrics"]:
+            request_id = exc.request_id
+            return error_reply(
+                fallback_id if request_id is None else request_id,
+                "protocol", str(exc),
+            )
+        request_id = request.id if request.id is not None else fallback_id
+        if request.verb == "shutdown":
+            # JSON-form shutdown (the bare verb never reaches here): an
+            # acknowledged, correlatable session end.
+            return {"id": request_id, "status": 0, "shutdown": True}
+        if request.verb == "metrics":
             GLOBAL_METRICS.inc("daemon.requests.metrics")
-            return {
-                "id": request_id, "status": 0,
-                "metrics": GLOBAL_METRICS.to_dict(),
-            }
-        return self.handle_request(argv, request_id)
-
-    def handle_request(self, argv: list[str], request_id: int) -> dict:
-        from ..driver import cli
-
-        try:
-            status, output = cli.run(argv, cache=self.cache, jobs=self.jobs)
-        except cli.CliError as exc:
+            return metrics_reply(request_id, GLOBAL_METRICS)
+        reply = execute_check(request, request_id, self.cache, self.jobs)
+        if "error" in reply:
             self.stats.errors += 1
-            GLOBAL_METRICS.inc("daemon.requests.status.2")
-            return {"id": request_id, "status": 2, "error": str(exc)}
-        except Exception as exc:  # a daemon must survive any one request
-            self.stats.errors += 1
-            GLOBAL_METRICS.inc("daemon.requests.status.3")
-            return {
-                "id": request_id, "status": 3,
-                "error": f"internal error: {type(exc).__name__}: {exc}",
-            }
-        GLOBAL_METRICS.inc(f"daemon.requests.status.{status}")
-        stats = cli.LAST_RUN_STATS
-        payload: dict = {"id": request_id, "status": status, "output": output}
+            GLOBAL_METRICS.inc(f"daemon.requests.status.{reply['status']}")
+            return reply
+        GLOBAL_METRICS.inc(f"daemon.requests.status.{reply['status']}")
+        stats = reply.get("stats")
         if stats is not None:
-            self.stats.cache_hits += stats.cache_hits
-            self.stats.cache_misses += stats.cache_misses
-            self.stats.check_s += stats.check_s
-            self.stats.total_s += stats.total_s
-            payload["stats"] = {
-                "cache_hits": stats.cache_hits,
-                "cache_misses": stats.cache_misses,
-                "memo_hits": stats.memo_hits,
-                "memo_misses": stats.memo_misses,
-                "degraded_units": stats.degraded_units,
-                "internal_errors": stats.internal_errors,
-                "preprocess_ms": round(stats.preprocess_s * 1000, 3),
-                "parse_ms": round(stats.parse_s * 1000, 3),
-                "check_ms": round(stats.check_s * 1000, 3),
-                "total_ms": round(stats.total_s * 1000, 3),
-            }
-        return payload
-
-    @staticmethod
-    def _parse_request(line: str) -> list[str]:
-        if line.startswith("["):
-            try:
-                parsed = json.loads(line)
-            except ValueError as exc:
-                raise ValueError(f"malformed JSON request: {exc}") from exc
-            if not isinstance(parsed, list) or not all(
-                isinstance(a, str) for a in parsed
-            ):
-                raise ValueError("JSON request must be an array of strings")
-            return parsed
-        try:
-            return shlex.split(line)
-        except ValueError as exc:
-            raise ValueError(f"malformed request line: {exc}") from exc
+            self.stats.cache_hits += stats["cache_hits"]
+            self.stats.cache_misses += stats["cache_misses"]
+            self.stats.check_s += stats["check_ms"] / 1000.0
+            self.stats.total_s += stats["total_ms"] / 1000.0
+        return reply
 
     def _send(self, payload: dict) -> None:
         self.stdout.write(json.dumps(payload) + "\n")

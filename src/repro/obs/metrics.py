@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 
 #: Histogram upper bounds in seconds; the last bucket is unbounded.
 LATENCY_BUCKETS_S = (0.001, 0.005, 0.025, 0.1, 0.5, 2.0, 10.0)
@@ -47,29 +48,72 @@ class Histogram:
             "buckets": dict(zip(labels, self.buckets)),
         }
 
+    def percentile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``0 < q <= 1``) in seconds.
+
+        Linear interpolation inside the containing bucket; observations
+        in the unbounded last bucket are reported as its lower bound (an
+        underestimate, but a stable one). Returns 0.0 when empty.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        lower = 0.0
+        for i, bound in enumerate(LATENCY_BUCKETS_S):
+            in_bucket = self.buckets[i]
+            if seen + in_bucket >= rank:
+                if in_bucket == 0:
+                    return bound
+                fraction = (rank - seen) / in_bucket
+                return lower + (bound - lower) * fraction
+            seen += in_bucket
+            lower = bound
+        return LATENCY_BUCKETS_S[-1]
+
 
 class MetricsRegistry:
-    """Named counters + histograms; safe to use before/without a dump."""
+    """Named counters, gauges + histograms; safe to use before/without a
+    dump, and safe to update from the checking service's worker threads
+    (every mutation holds one short registry lock)."""
 
     def __init__(self) -> None:
         self._counters: dict[str, int] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     # -- counters -----------------------------------------------------------
 
     def inc(self, name: str, amount: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def count(self, name: str) -> int:
         return self._counters.get(name, 0)
 
+    # -- gauges -------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time level (queue depth, inflight count).
+
+        Unlike counters, a gauge can go down; a dump shows the most
+        recent value.
+        """
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str) -> float:
+        return self._gauges.get(name, 0)
+
     # -- histograms ---------------------------------------------------------
 
     def observe(self, name: str, seconds: float) -> None:
-        hist = self._histograms.get(name)
-        if hist is None:
-            hist = self._histograms[name] = Histogram()
-        hist.observe(seconds)
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(seconds)
 
     def histogram(self, name: str) -> Histogram | None:
         return self._histograms.get(name)
@@ -77,13 +121,15 @@ class MetricsRegistry:
     # -- dumping ------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
-            "counters": dict(sorted(self._counters.items())),
-            "histograms": {
-                name: hist.to_dict()
-                for name, hist in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    name: hist.to_dict()
+                    for name, hist in sorted(self._histograms.items())
+                },
+            }
 
     def dump_json(self, path: str) -> None:
         parent = os.path.dirname(os.path.abspath(path))
@@ -93,8 +139,10 @@ class MetricsRegistry:
             handle.write("\n")
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+            self._gauges.clear()
 
 
 #: The process-lifetime registry every subsystem defaults to.

@@ -1,0 +1,23 @@
+"""The multi-client checking service (``pylclint --serve``).
+
+Layers:
+
+* :mod:`repro.service.protocol` — the line protocol shared by the async
+  server and the legacy stdin/stdout daemon shim: request parsing
+  (shell line, JSON array, JSON object), request-id recovery from
+  malformed input, the reply schema.
+* :mod:`repro.service.server` — the stdlib-``asyncio`` server: TCP
+  localhost and/or UNIX-socket listeners, per-connection sessions, a
+  bounded priority queue with backpressure, per-request deadlines with
+  cooperative cancellation, graceful drain on SIGTERM.
+* :mod:`repro.service.client` — a small blocking client used by tests,
+  the chaos-load harness, and scripts.
+* :mod:`repro.service.locking` — advisory cache-directory locking
+  shared with :mod:`repro.incremental.cache`.
+
+This ``__init__`` stays import-light on purpose: the incremental cache
+imports :mod:`repro.service.locking`, so importing the server (which
+imports the cache) here would be circular.
+"""
+
+__all__ = ["protocol", "server", "client", "locking"]

@@ -1,0 +1,8 @@
+"""``python -m repro.service`` runs the checking service directly."""
+
+import sys
+
+from .server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

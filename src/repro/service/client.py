@@ -1,0 +1,125 @@
+"""A small blocking client for the checking service.
+
+Used by the chaos-load harness, the integration tests, and handy in
+scripts::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient.connect_tcp("127.0.0.1", 7777) as client:
+        reply = client.check(["-quiet", "src/a.c"], request_id=1)
+        print(reply["status"], reply["output"])
+
+The client is deliberately dumb — blocking socket, line framing, JSON
+replies — because that is exactly the protocol surface external tools
+integrate against; anything the client cannot do over the wire, a build
+system cannot either.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from .protocol import MAX_REQUEST_BYTES
+
+#: Replies can carry a full rendered batch output; allow generous lines.
+_MAX_REPLY_BYTES = 64 * MAX_REQUEST_BYTES
+
+
+class ServiceClient:
+    """One connection to a running checking service."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._buf = bytearray()
+        self.ready = self.recv_reply()  # the server speaks first
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def connect_tcp(
+        cls, host: str, port: int, timeout: float | None = 30.0
+    ) -> "ServiceClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock)
+
+    @classmethod
+    def connect_unix(
+        cls, path: str, timeout: float | None = 30.0
+    ) -> "ServiceClient":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(path)
+        return cls(sock)
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    # -- raw line IO ---------------------------------------------------------
+
+    def send_line(self, line: str) -> None:
+        self.sock.sendall(line.encode("utf-8") + b"\n")
+
+    def send_bytes(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def recv_reply(self) -> dict | None:
+        """Read one JSON reply line; ``None`` on EOF."""
+        while True:
+            idx = self._buf.find(b"\n")
+            if idx >= 0:
+                line = self._buf[:idx]
+                del self._buf[: idx + 1]
+                if not line.strip():
+                    continue
+                return json.loads(line.decode("utf-8"))
+            if len(self._buf) > _MAX_REPLY_BYTES:
+                raise ValueError("reply line exceeds the client's cap")
+            chunk = self.sock.recv(1 << 16)
+            if not chunk:
+                if self._buf.strip():
+                    line = bytes(self._buf)
+                    self._buf.clear()
+                    return json.loads(line.decode("utf-8"))
+                return None
+            self._buf.extend(chunk)
+
+    # -- request helpers -----------------------------------------------------
+
+    def request(self, payload: dict) -> dict | None:
+        self.send_line(json.dumps(payload))
+        return self.recv_reply()
+
+    def check(
+        self,
+        argv: list[str],
+        request_id=None,
+        priority: str = "interactive",
+        timeout: float | None = None,
+    ) -> dict | None:
+        payload: dict = {"op": "check", "argv": argv, "priority": priority}
+        if request_id is not None:
+            payload["id"] = request_id
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request(payload)
+
+    def metrics(self, request_id=None) -> dict | None:
+        payload: dict = {"op": "metrics"}
+        if request_id is not None:
+            payload["id"] = request_id
+        return self.request(payload)
+
+    def shutdown(self) -> dict | None:
+        """End the session; returns the bye payload (or None)."""
+        self.send_line("shutdown")
+        return self.recv_reply()

@@ -1,0 +1,115 @@
+"""Advisory cache-directory locking.
+
+Several processes legitimately share one ``.pylclint-cache/``: a
+long-lived checking service, one-shot CLI runs from a build, a second
+daemon someone started by accident. Individual entry writes were
+already safe (temp file + ``os.replace``), but two operations are not
+idempotent per-file and need mutual exclusion across processes:
+
+* a **version-mismatch wipe** (``ResultCache._ensure_layout``) deleting
+  the tree while another process is writing into it;
+* **results-journal appends and compaction** (one shared append-only
+  file; see ``incremental/cache.py``).
+
+The lock is a single advisory ``flock`` on ``<root>/lock``. Advisory is
+the right strength: a process that does not take the lock can still
+read entries (reads are corruption-tolerant), it just must not run the
+two operations above — and every code path in this repo that does goes
+through :class:`CacheDirLock`.
+
+On platforms without ``fcntl`` (Windows) the lock degrades to a no-op,
+matching the repo's zero-dependency stance; the cache then falls back
+to the per-file atomicity it always had.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+#: Name of the lock file inside the cache root. Never an entry, never
+#: wiped by a version rebuild (the wipe itself holds it).
+LOCK_FILE_NAME = "lock"
+
+
+class CacheDirLock:
+    """An advisory, re-entrant, cross-process lock on a cache directory.
+
+    ``with lock.exclusive(): ...`` blocks until the flock is held.
+    Re-entrant within a process (a wipe inside ``_ensure_layout`` may
+    run under a flush that already holds it) via a thread-level RLock
+    plus a depth counter — flock itself is per-open-file, so the depth
+    counter keeps the first release from dropping an outer hold.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.path = os.path.join(self.root, LOCK_FILE_NAME)
+        self._thread_lock = threading.RLock()
+        self._depth = 0
+        self._fd: int | None = None
+
+    @property
+    def supported(self) -> bool:
+        return fcntl is not None
+
+    @property
+    def held(self) -> bool:
+        """True while any level of this object's re-entrant hold is open
+        (a same-thread observation; other threads see a racy snapshot)."""
+        return self._depth > 0
+
+    def exclusive(self) -> "_Held":
+        return _Held(self)
+
+    # -- internals ----------------------------------------------------------
+
+    def _acquire(self) -> None:
+        self._thread_lock.acquire()
+        self._depth += 1
+        if self._depth > 1 or fcntl is None:
+            return
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        except OSError:
+            # A cache on a filesystem without flock (some NFS mounts)
+            # still works, just without cross-process exclusion.
+            if self._fd is not None:
+                try:
+                    os.close(self._fd)
+                except OSError:
+                    pass
+            self._fd = None
+
+    def _release(self) -> None:
+        self._depth -= 1
+        if self._depth == 0 and self._fd is not None:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(self._fd, fcntl.LOCK_UN)
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None
+        self._thread_lock.release()
+
+
+class _Held:
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: CacheDirLock) -> None:
+        self._lock = lock
+
+    def __enter__(self) -> CacheDirLock:
+        self._lock._acquire()
+        return self._lock
+
+    def __exit__(self, *exc) -> None:
+        self._lock._release()

@@ -221,3 +221,89 @@ class TestParallelFallback:
 
 def _die_task(index):
     raise RuntimeError(f"worker died on {index}")
+
+
+class TestCancelScopes:
+    def test_checkpoint_is_a_no_op_without_a_scope(self):
+        from repro.core.faults import active_cancel_scope, cancel_checkpoint
+
+        assert active_cancel_scope() is None
+        cancel_checkpoint()  # must not raise
+
+    def test_cancelled_scope_raises_at_the_checkpoint(self):
+        from repro.core.faults import (
+            CancelScope,
+            RequestCancelled,
+            cancel_checkpoint,
+            cancel_scope,
+        )
+
+        scope = CancelScope()
+        with cancel_scope(scope):
+            cancel_checkpoint()  # not yet cancelled: passes
+            scope.cancel("deadline exceeded")
+            with pytest.raises(RequestCancelled, match="deadline exceeded"):
+                cancel_checkpoint()
+
+    def test_scope_restored_on_exit_and_nestable(self):
+        from repro.core.faults import (
+            CancelScope,
+            active_cancel_scope,
+            cancel_scope,
+        )
+
+        outer, inner = CancelScope(), CancelScope()
+        with cancel_scope(outer):
+            with cancel_scope(inner):
+                assert active_cancel_scope() is inner
+            assert active_cancel_scope() is outer
+        assert active_cancel_scope() is None
+
+    def test_cancellation_escapes_exception_containment(self):
+        # RequestCancelled is a BaseException precisely so that the
+        # per-unit `except Exception` containment cannot swallow it.
+        from repro.core.faults import RequestCancelled
+
+        assert not issubclass(RequestCancelled, Exception)
+        assert issubclass(RequestCancelled, BaseException)
+
+    def test_scopes_are_thread_local(self):
+        import threading
+
+        from repro.core.faults import (
+            CancelScope,
+            active_cancel_scope,
+            cancel_scope,
+        )
+
+        seen = {}
+
+        def probe():
+            seen["other-thread"] = active_cancel_scope()
+
+        with cancel_scope(CancelScope()):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join(10)
+        assert seen["other-thread"] is None
+
+    def test_engine_stops_at_a_unit_boundary(self, tmp_path):
+        # Cancel between units of a batch: the engine raises out of its
+        # unit loop instead of finishing the remaining units.
+        from repro.core.faults import (
+            CancelScope,
+            RequestCancelled,
+            cancel_scope,
+        )
+        from repro.driver import cli
+
+        sources = []
+        for index in range(4):
+            src = tmp_path / f"u{index}.c"
+            src.write_text(f"int f{index}(void) {{ return {index}; }}\n")
+            sources.append(str(src))
+        scope = CancelScope()
+        scope.cancel("test cancel")
+        with cancel_scope(scope):
+            with pytest.raises(RequestCancelled):
+                cli.run(["-quiet", *sources])

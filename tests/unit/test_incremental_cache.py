@@ -262,3 +262,153 @@ class TestDroppedEntryAccounting:
         registry = MetricsRegistry()
         ResultCache(root, metrics=registry)
         assert registry.count("cache.wipes") == 1
+
+
+class TestResultJournal:
+    FP1 = "ab" * 32
+    FP2 = "cd" * 32
+    FP3 = "ef" * 32
+
+    def _registry_cache(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        return ResultCache(str(tmp_path / "c"), metrics=registry), registry
+
+    def _journal_path(self, cache):
+        return os.path.join(cache.root, "results", "journal.jsonl")
+
+    def test_batch_is_one_append_not_per_unit_files(self, tmp_path):
+        cache, registry = self._registry_cache(tmp_path)
+        with cache.batch():
+            cache.put_result(self.FP1, [_message()], suppressed=0)
+            cache.put_result(self.FP2, [_message()], suppressed=1)
+        # One flush for the whole batch; no per-fingerprint files yet.
+        assert registry.count("cache.journal.flushes") == 1
+        assert registry.count("cache.journal.entries") == 2
+        assert not os.path.exists(
+            os.path.join(cache.root, "results", self.FP1 + ".json")
+        )
+        lines = open(self._journal_path(cache)).read().splitlines()
+        assert len(lines) == 2
+
+    def test_batched_results_visible_before_and_after_flush(self, tmp_path):
+        cache, _ = self._registry_cache(tmp_path)
+        with cache.batch():
+            cache.put_result(self.FP1, [_message()], suppressed=3)
+            # Visible mid-batch (the engine re-reads what it wrote).
+            assert cache.get_result(self.FP1)[1] == 3
+        assert cache.get_result(self.FP1)[1] == 3
+
+    def test_journal_survives_reopen(self, tmp_path):
+        cache, _ = self._registry_cache(tmp_path)
+        with cache.batch():
+            cache.put_result(self.FP1, [_message()], suppressed=2)
+        reopened = ResultCache(cache.root)
+        loaded = reopened.get_result(self.FP1)
+        assert loaded is not None
+        assert loaded[1] == 2
+
+    def test_nested_batches_flush_once_at_outermost_exit(self, tmp_path):
+        cache, registry = self._registry_cache(tmp_path)
+        with cache.batch():
+            cache.put_result(self.FP1, [_message()], suppressed=0)
+            with cache.batch():
+                cache.put_result(self.FP2, [_message()], suppressed=0)
+            assert registry.count("cache.journal.flushes") == 0
+        assert registry.count("cache.journal.flushes") == 1
+
+    def test_unbatched_put_is_an_immediate_file_write(self, tmp_path):
+        cache, registry = self._registry_cache(tmp_path)
+        cache.put_result(self.FP1, [_message()], suppressed=0)
+        assert os.path.exists(
+            os.path.join(cache.root, "results", self.FP1 + ".json")
+        )
+        assert registry.count("cache.journal.flushes") == 0
+
+    def test_mid_append_kill_heals_on_next_load(self, tmp_path):
+        # A process killed mid-append leaves a truncated final line; the
+        # next open drops exactly that line and rewrites the journal so
+        # the corruption is reported once, not on every run.
+        cache, _ = self._registry_cache(tmp_path)
+        with cache.batch():
+            cache.put_result(self.FP1, [_message()], suppressed=5)
+            cache.put_result(self.FP2, [_message()], suppressed=6)
+        path = self._journal_path(cache)
+        whole = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(whole[: len(whole) - 40])  # torn final append
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        healed = ResultCache(cache.root, metrics=registry)
+        assert healed.get_result(self.FP1)[1] == 5  # intact prefix kept
+        assert healed.get_result(self.FP2) is None  # torn line dropped
+        assert registry.count("cache.journal.healed") == 1
+        assert healed.dropped == 1
+        # Healed: reopening again reports no further corruption.
+        registry2 = MetricsRegistry()
+        again = ResultCache(cache.root, metrics=registry2)
+        assert registry2.count("cache.journal.healed") == 0
+        assert again.verify_integrity()["corrupt"] == 0
+
+    def test_garbage_journal_line_is_dropped_not_fatal(self, tmp_path):
+        cache, _ = self._registry_cache(tmp_path)
+        with cache.batch():
+            cache.put_result(self.FP1, [_message()], suppressed=0)
+        with open(self._journal_path(cache), "ab") as handle:
+            handle.write(b"\x00\xffnot json at all\n")
+            handle.write(b'{"fp": "zz", "messages": [], "suppressed": 0}\n')
+        reopened = ResultCache(cache.root)
+        assert reopened.get_result(self.FP1) is not None
+        assert reopened.dropped == 2
+
+    def test_compaction_folds_into_files_and_truncates(self, tmp_path):
+        cache, registry = self._registry_cache(tmp_path)
+        with cache.batch():
+            cache.put_result(self.FP1, [_message()], suppressed=1)
+            cache.put_result(self.FP2, [_message()], suppressed=2)
+        cache.compact_journal()
+        assert registry.count("cache.journal.compactions") == 1
+        assert os.path.getsize(self._journal_path(cache)) == 0
+        for fp, suppressed in ((self.FP1, 1), (self.FP2, 2)):
+            assert os.path.exists(
+                os.path.join(cache.root, "results", fp + ".json")
+            )
+            assert cache.get_result(fp)[1] == suppressed
+
+    def test_oversized_journal_compacts_on_load(self, tmp_path, monkeypatch):
+        from repro.incremental import cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "JOURNAL_COMPACT_ENTRIES", 2)
+        cache, _ = self._registry_cache(tmp_path)
+        with cache.batch():
+            for fp in (self.FP1, self.FP2, self.FP3):
+                cache.put_result(fp, [_message()], suppressed=0)
+        # The flush itself compacts once past the (patched) threshold.
+        assert os.path.getsize(self._journal_path(cache)) == 0
+        reopened = ResultCache(cache.root)
+        for fp in (self.FP1, self.FP2, self.FP3):
+            assert reopened.get_result(fp) is not None
+
+    def test_bad_fingerprint_fails_at_put_even_in_a_batch(self, tmp_path):
+        cache, _ = self._registry_cache(tmp_path)
+        with pytest.raises(ValueError):
+            with cache.batch():
+                cache.put_result("not-hex", [_message()], suppressed=0)
+
+    def test_verify_integrity_counts_and_flags(self, tmp_path):
+        cache, _ = self._registry_cache(tmp_path)
+        cache.put_result(self.FP1, [_message()], suppressed=0)
+        with cache.batch():
+            cache.put_result(self.FP2, [_message()], suppressed=0)
+        report = cache.verify_integrity()
+        assert report["results"] == 1
+        assert report["journal"] == 1
+        assert report["corrupt"] == 0
+        # Corrupt a per-fingerprint file: the report flags it.
+        victim = os.path.join(cache.root, "results", self.FP1 + ".json")
+        with open(victim, "w") as handle:
+            handle.write("{broken")
+        fresh = ResultCache(cache.root)
+        assert fresh.verify_integrity()["corrupt"] >= 1

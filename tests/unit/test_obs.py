@@ -191,10 +191,84 @@ class TestMetricsRegistry:
         reg.inc("a")
         reg.observe("b", 0.1)
         reg.reset()
-        assert reg.to_dict() == {"counters": {}, "histograms": {}}
+        assert reg.to_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
 
     def test_global_registry_exists_and_is_a_registry(self):
         assert isinstance(GLOBAL_METRICS, MetricsRegistry)
+
+    def test_gauges_hold_the_latest_level(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("service.queue.depth", 7)
+        reg.set_gauge("service.queue.depth", 3)  # gauges can go down
+        assert reg.gauge("service.queue.depth") == 3
+        assert reg.gauge("never.set") == 0
+        assert reg.to_dict()["gauges"] == {"service.queue.depth": 3}
+
+    def test_thread_safety_under_contention(self):
+        import threading
+
+        reg = MetricsRegistry()
+
+        def hammer():
+            for _ in range(500):
+                reg.inc("hits")
+                reg.observe("lat", 0.002)
+                reg.set_gauge("depth", 1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.count("hits") == 8 * 500
+        assert reg.histogram("lat").count == 8 * 500
+
+
+class TestHistogramPercentile:
+    def test_empty_is_zero(self):
+        from repro.obs.metrics import Histogram
+
+        assert Histogram().percentile(0.5) == 0.0
+
+    def test_interpolates_inside_a_bucket(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram()
+        for _ in range(100):
+            hist.observe(0.003)  # all in the (0.001, 0.005] bucket
+        p50 = hist.percentile(0.5)
+        assert 0.001 <= p50 <= 0.005
+
+    def test_percentiles_are_monotone(self):
+        reg = MetricsRegistry()
+        for seconds in (0.0005, 0.002, 0.002, 0.05, 0.3, 1.5):
+            reg.observe("lat", seconds)
+        hist = reg.histogram("lat")
+        assert (hist.percentile(0.5)
+                <= hist.percentile(0.9)
+                <= hist.percentile(0.99))
+
+    def test_overflow_bucket_reports_its_lower_bound(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram()
+        hist.observe(100.0)
+        assert hist.percentile(0.99) == LATENCY_BUCKETS_S[-1]
+
+    def test_p50_lands_in_the_median_bucket(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram()
+        for _ in range(10):
+            hist.observe(0.0005)  # <=0.001
+        for _ in range(10):
+            hist.observe(1.0)  # <=2.0
+        # The median straddles the two populations; p50 must not be in
+        # the far tail of either.
+        assert hist.percentile(0.4) <= 0.001
+        assert hist.percentile(0.6) > 0.5
 
 
 # ---------------------------------------------------------------------------
