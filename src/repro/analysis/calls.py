@@ -238,8 +238,18 @@ class CallMixin:
                 f"{rendered}",
             )
         elif alloc is AllocState.KEPT:
+            # Kept means the release obligation was already satisfied
+            # through another reference: releasing again is a double free
+            # reached through an alias, reported as its own class when
+            # aliasfree checking is on (the generic transfer complaint
+            # otherwise), with the same message either way.
+            code = (
+                MessageCode.DOUBLE_RELEASE
+                if self.flags.enabled("aliasfree")
+                else MessageCode.BAD_TRANSFER
+            )
             self.reporter.report(
-                MessageCode.BAD_TRANSFER, loc,
+                code, loc,
                 f"Kept storage {name} passed as {word} {label} "
                 f"(storage may be released twice): {rendered}",
             )

@@ -44,7 +44,14 @@ from ..messages.message import MessageCode
 from ..messages.reporter import Reporter
 from .calls import CallMixin
 from .guards import GuardAnalyzer
-from .states import AllocState, DefState, NullState, RefState, from_annotations
+from .states import (
+    AllocState,
+    DefState,
+    NullState,
+    RefState,
+    from_annotations,
+    intersect_range,
+)
 from .storage import Ref
 from .store import MergeReport, Store
 from .transfer import ExprMixin, Value
@@ -115,7 +122,9 @@ class FunctionChecker(ExprMixin, CallMixin):
         self.used_globals: set[str] = set()
         self.assigned_globals: dict[str, Location] = {}
         self._guards = GuardAnalyzer(
-            resolve_ref=self._guard_resolve, null_predicate=self._null_predicate
+            resolve_ref=self._guard_resolve,
+            null_predicate=self._null_predicate,
+            const_eval=self._const_int,
         )
         self._guard_store: Store | None = None
 
@@ -382,6 +391,23 @@ class FunctionChecker(ExprMixin, CallMixin):
             return "truenull"
         if sig.ret_annotations.falsenull:
             return "falsenull"
+        return None
+
+    def _const_int(self, expr: A.Expr) -> int | None:
+        """Compile-time integer value of an expression, if known."""
+        if isinstance(expr, A.IntLit):
+            return expr.value
+        if isinstance(expr, A.CharLit):
+            return expr.value
+        if isinstance(expr, A.Unary) and expr.op == "-":
+            inner = self._const_int(expr.operand)
+            return -inner if inner is not None else None
+        if isinstance(expr, A.Cast):
+            return self._const_int(expr.operand)
+        if isinstance(expr, A.Ident):
+            kind, info = self.resolve_name(expr.name)
+            if kind == "enum" and isinstance(info, int):
+                return info
         return None
 
     # ------------------------------------------------------------------
@@ -657,7 +683,67 @@ class FunctionChecker(ExprMixin, CallMixin):
     def _exec_for(self, stmt: A.For, store: Store) -> Store:
         if stmt.init is not None:
             store = self.exec_stmt(stmt.init, store)
-        return self._exec_loop(stmt.cond, stmt.body, stmt.step, store, stmt.location)
+        widen = self._loop_widen_plan(stmt, store)
+        return self._exec_loop(stmt.cond, stmt.body, stmt.step, store,
+                               stmt.location, widen=widen)
+
+    def _loop_widen_plan(
+        self, stmt: A.For, store: Store
+    ) -> tuple[Ref, int, int] | None:
+        """Recognize the canonical counting loop ``for (i = lo; i < C; i++)``.
+
+        Although loops run zero-or-one times in the analysis model, the
+        counter of a canonical loop is known to span the whole interval
+        ``[lo, C)`` inside the body — exactly the fact the out-of-bounds
+        checker needs to judge ``a[i]`` against a constant bound. Returns
+        ``(counter_ref, lo, hi)`` (inclusive) or ``None``.
+        """
+        cond = stmt.cond
+        if not (isinstance(cond, A.Binary) and cond.op in ("<", "<=")):
+            return None
+        if not isinstance(cond.lhs, A.Ident):
+            return None
+        bound = self._const_int(cond.rhs)
+        if bound is None:
+            return None
+        name = cond.lhs.name
+        kind, _ = self.resolve_name(name)
+        if kind != "local":
+            return None
+        if not self._is_unit_increment(stmt.step, name):
+            return None
+        ref = Ref.local(name)
+        st = store.peek(ref)
+        if st is None or st.rng is None or st.rng[0] is None:
+            return None
+        lo = st.rng[0]
+        hi = bound - 1 if cond.op == "<" else bound
+        if lo > hi:
+            return None  # loop body never runs with a feasible counter
+        return ref, lo, hi
+
+    @staticmethod
+    def _is_unit_increment(step: A.Expr | None, name: str) -> bool:
+        """Match ``i++`` / ``++i`` / ``i += 1`` / ``i = i + 1``."""
+        def is_counter(expr: A.Expr) -> bool:
+            return isinstance(expr, A.Ident) and expr.name == name
+
+        if isinstance(step, A.Unary) and step.op in ("++", "p++"):
+            return is_counter(step.operand)
+        if isinstance(step, A.Assign) and is_counter(step.target):
+            if step.op == "+=":
+                return isinstance(step.value, A.IntLit) and step.value.value == 1
+            if step.op == "=" and isinstance(step.value, A.Binary) and (
+                step.value.op == "+"
+            ):
+                one, other = step.value.rhs, step.value.lhs
+                if not (isinstance(one, A.IntLit) and one.value == 1):
+                    one, other = step.value.lhs, step.value.rhs
+                return (
+                    isinstance(one, A.IntLit) and one.value == 1
+                    and is_counter(other)
+                )
+        return False
 
     def _exec_loop(
         self,
@@ -666,6 +752,7 @@ class FunctionChecker(ExprMixin, CallMixin):
         step: A.Expr | None,
         store: Store,
         loc: Location,
+        widen: tuple[Ref, int, int] | None = None,
     ) -> Store:
         """Loops execute zero or one times (paper section 2)."""
         if cond is not None:
@@ -673,6 +760,11 @@ class FunctionChecker(ExprMixin, CallMixin):
         else:
             true_store, false_store = store.copy(), store.copy()
             false_store.unreachable = True
+        if widen is not None:
+            # The counter spans its whole loop interval inside the body;
+            # this overrides the entry-value pin the guard facts applied.
+            wref, wlo, whi = widen
+            true_store.update(wref, lambda s: s.with_range((wlo, whi)))
         self._loop_frames.append(([], []))
         body_out = self.exec_stmt(body, true_store)
         breaks, continues = self._loop_frames.pop()
@@ -688,6 +780,9 @@ class FunctionChecker(ExprMixin, CallMixin):
                 second_true, _ = self.eval_condition(cond, body_out)
             else:
                 second_true = body_out
+            if widen is not None:
+                wref, wlo, whi = widen
+                second_true.update(wref, lambda s: s.with_range((wlo, whi)))
             self._loop_frames.append(([], []))
             body_out = self.exec_stmt(body, second_true)
             extra_breaks, _ = self._loop_frames.pop()
@@ -818,6 +913,14 @@ class FunctionChecker(ExprMixin, CallMixin):
             true_store.update_with_aliases(ref, lambda s, n=null: s.with_null(n))
         for ref, null in false_facts.facts.items():
             false_store.update_with_aliases(ref, lambda s, n=null: s.with_null(n))
+        for ref, rng in true_facts.ranges.items():
+            true_store.update(
+                ref, lambda s, r=rng: s.with_range(intersect_range(s.rng, r))
+            )
+        for ref, rng in false_facts.ranges.items():
+            false_store.update(
+                ref, lambda s, r=rng: s.with_range(intersect_range(s.rng, r))
+            )
         return true_store, false_store
 
     # -- merge reporting -------------------------------------------------------------

@@ -15,25 +15,39 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..frontend import cast as A
-from .states import NullState
+from .states import NullState, intersect_range
 from .storage import Ref
 
 
 @dataclass
 class GuardFacts:
-    """Null-state refinements to apply on one branch of a condition."""
+    """Refinements to apply on one branch of a condition.
+
+    ``facts`` carries null-state refinements (the paper's guards);
+    ``ranges`` carries integer interval refinements (``i < n`` facts) for
+    the out-of-bounds checker.
+    """
 
     facts: dict[Ref, NullState] = field(default_factory=dict)
+    ranges: dict[Ref, tuple[int | None, int | None]] = field(default_factory=dict)
 
     def add(self, ref: Ref, state: NullState) -> None:
         existing = self.facts.get(ref)
         if existing is None or state is NullState.NOTNULL:
             self.facts[ref] = state
 
+    def add_range(self, ref: Ref, rng: tuple[int | None, int | None]) -> None:
+        existing = self.ranges.get(ref)
+        merged = intersect_range(existing, rng)
+        if merged is not None:
+            self.ranges[ref] = merged
+
     def merge_and(self, other: "GuardFacts") -> "GuardFacts":
-        out = GuardFacts(dict(self.facts))
+        out = GuardFacts(dict(self.facts), dict(self.ranges))
         for ref, st in other.facts.items():
             out.add(ref, st)
+        for ref, rng in other.ranges.items():
+            out.add_range(ref, rng)
         return out
 
     @staticmethod
@@ -70,9 +84,10 @@ class GuardAnalyzer:
     free of checker dependencies.
     """
 
-    def __init__(self, resolve_ref, null_predicate) -> None:
+    def __init__(self, resolve_ref, null_predicate, const_eval=None) -> None:
         self._resolve_ref = resolve_ref        # (expr) -> Ref | None
         self._null_predicate = null_predicate  # (name) -> 'truenull'|'falsenull'|None
+        self._const_eval = const_eval          # (expr) -> int | None
 
     def _resolve(self, expr: A.Expr) -> Ref | None:
         return self._resolve_ref(strip_assignments(expr))
@@ -102,16 +117,26 @@ class GuardAnalyzer:
             # branch learns nothing (either side may have failed).
             lhs_t, _ = self.split(expr.lhs)
             rhs_t, _ = self.split(expr.rhs)
-            for ref, st in lhs_t.merge_and(rhs_t).facts.items():
+            both = lhs_t.merge_and(rhs_t)
+            for ref, st in both.facts.items():
                 true_facts.add(ref, st)
+            for ref, rng in both.ranges.items():
+                true_facts.add_range(ref, rng)
             return
 
         if isinstance(expr, A.Binary) and expr.op == "||":
             # Both disjunct's false-facts hold on the false branch.
             _, lhs_f = self.split(expr.lhs)
             _, rhs_f = self.split(expr.rhs)
-            for ref, st in lhs_f.merge_and(rhs_f).facts.items():
+            both = lhs_f.merge_and(rhs_f)
+            for ref, st in both.facts.items():
                 false_facts.add(ref, st)
+            for ref, rng in both.ranges.items():
+                false_facts.add_range(ref, rng)
+            return
+
+        if isinstance(expr, A.Binary) and expr.op in ("<", "<=", ">", ">="):
+            self._relational(expr, true_facts, false_facts)
             return
 
         if isinstance(expr, A.Binary) and expr.op in ("==", "!="):
@@ -129,6 +154,13 @@ class GuardAnalyzer:
                     else:  # (p != NULL): true => not null
                         true_facts.add(ref, NullState.NOTNULL)
                         false_facts.add(ref, NullState.ISNULL)
+            ref_const = self._ref_vs_const(expr)
+            if ref_const is not None:
+                ref, const = ref_const
+                if expr.op == "==":  # (i == c): true => i is exactly c
+                    true_facts.add_range(ref, (const, const))
+                else:                # (i != c): false => i is exactly c
+                    false_facts.add_range(ref, (const, const))
             return
 
         if isinstance(expr, A.Call) and isinstance(expr.func, A.Ident) and expr.args:
@@ -147,3 +179,47 @@ class GuardAnalyzer:
         if ref is not None:
             true_facts.add(ref, NullState.NOTNULL)
             false_facts.add(ref, NullState.ISNULL)
+
+    def _ref_vs_const(
+        self, expr: A.Binary
+    ) -> tuple[Ref, int] | None:
+        """Match one side of a comparison to a reference, the other to a
+        compile-time integer constant, in either order."""
+        if self._const_eval is None:
+            return None
+        const = self._const_eval(expr.rhs)
+        if const is not None:
+            ref = self._resolve(expr.lhs)
+            if ref is not None:
+                return ref, const
+        const = self._const_eval(expr.lhs)
+        if const is not None:
+            ref = self._resolve(expr.rhs)
+            if ref is not None:
+                return ref, const
+        return None
+
+    def _relational(
+        self, expr: A.Binary, true_facts: GuardFacts, false_facts: GuardFacts
+    ) -> None:
+        """Interval refinement for 'i < c' and friends ('i < n' facts)."""
+        ref_const = self._ref_vs_const(expr)
+        if ref_const is None:
+            return
+        ref, const = ref_const
+        op = expr.op
+        if self._const_eval(expr.lhs) is not None:
+            # c OP i reads as i FLIP(OP) c.
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+        if op == "<":       # i < c
+            true_facts.add_range(ref, (None, const - 1))
+            false_facts.add_range(ref, (const, None))
+        elif op == "<=":    # i <= c
+            true_facts.add_range(ref, (None, const))
+            false_facts.add_range(ref, (const + 1, None))
+        elif op == ">":     # i > c
+            true_facts.add_range(ref, (const + 1, None))
+            false_facts.add_range(ref, (None, const))
+        else:               # i >= c
+            true_facts.add_range(ref, (const, None))
+            false_facts.add_range(ref, (None, const - 1))

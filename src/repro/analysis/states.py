@@ -208,13 +208,53 @@ def initial_alloc(ann: AnnotationSet, default: AllocState = AllocState.IMPLICIT)
     return _ALLOC_FROM_ANN[ann.alloc]
 
 
+# Integer value intervals ``(lo, hi)``: ``None`` at either end means
+# unbounded in that direction, and a range of ``None`` means no knowledge
+# at all (the common case). Carried by :class:`RefState` for integer
+# references so the out-of-bounds checker can compare indexes against
+# known array extents.
+
+def merge_range(
+    a: tuple[int | None, int | None] | None,
+    b: tuple[int | None, int | None] | None,
+) -> tuple[int | None, int | None] | None:
+    """Confluence of two value ranges: the interval hull (weakest wins)."""
+    if a is None or b is None:
+        return None
+    lo = None if a[0] is None or b[0] is None else min(a[0], b[0])
+    hi = None if a[1] is None or b[1] is None else max(a[1], b[1])
+    if lo is None and hi is None:
+        return None
+    return (lo, hi)
+
+
+def intersect_range(
+    a: tuple[int | None, int | None] | None,
+    b: tuple[int | None, int | None] | None,
+) -> tuple[int | None, int | None] | None:
+    """Refinement of a range by a guard fact (strongest wins)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    lo = a[0] if b[0] is None else (b[0] if a[0] is None else max(a[0], b[0]))
+    hi = a[1] if b[1] is None else (b[1] if a[1] is None else min(a[1], b[1]))
+    return (lo, hi)
+
+
 @dataclass(frozen=True)
 class RefState:
-    """The three dataflow values for one reference at one program point."""
+    """The three dataflow values for one reference at one program point.
+
+    ``rng`` is a fourth, optional component: the known integer value
+    interval of the reference (constant assignments, guard refinement and
+    canonical loop bounds feed it; anything else clears it to ``None``).
+    """
 
     definition: DefState = DefState.DEFINED
     null: NullState = NullState.NOTNULL
     alloc: AllocState = AllocState.IMPLICIT
+    rng: tuple[int | None, int | None] | None = None
 
     def with_definition(self, definition: DefState) -> "RefState":
         return replace(self, definition=definition)
@@ -224,6 +264,11 @@ class RefState:
 
     def with_alloc(self, alloc: AllocState) -> "RefState":
         return replace(self, alloc=alloc)
+
+    def with_range(
+        self, rng: tuple[int | None, int | None] | None
+    ) -> "RefState":
+        return replace(self, rng=rng)
 
     def merged(self, other: "RefState") -> tuple["RefState", list[MergeAnomaly]]:
         anomalies: list[MergeAnomaly] = []
@@ -250,7 +295,8 @@ class RefState:
                 alloc = AllocState.DEAD
             else:
                 anomalies.append(alloc_anom)
-        return RefState(definition, null, alloc), anomalies
+        rng = merge_range(self.rng, other.rng)
+        return RefState(definition, null, alloc, rng), anomalies
 
 
 def from_annotations(

@@ -69,6 +69,13 @@ def _index_key(index_expr: A.Expr) -> str:
     return "?"
 
 
+def _constant_value(value: int) -> Value:
+    """An integer constant: a plain value carrying its exact range (and
+    the null-literal marker for 0)."""
+    base = Value.null() if value == 0 else Value.plain()
+    return replace(base, state=base.state.with_range((value, value)))
+
+
 class _LazyRender:
     """Renders an expression only if the message actually fires.
 
@@ -142,10 +149,25 @@ class ExprMixin:
                 # relaxed definition checking: assumed defined when used
                 store.set_state(ref, st.with_definition(DefState.DEFINED))
                 return
-            self.reporter.report(
-                MessageCode.USE_BEFORE_DEF, loc,
-                f"Value {name} used before definition",
-            )
+            code = MessageCode.USE_BEFORE_DEF
+            text = f"Value {name} used before definition"
+            if ref.path and ref.path[-1][0] in ("dot", "arrow") and (
+                self.flags.enabled("fielddef")
+            ):
+                # Reading an unwritten field of a struct that *other*
+                # writes left partially defined is its own class; a read
+                # from wholly-undefined storage stays use-before-def.
+                parent = ref.parent()
+                if parent is not None and (
+                    store.state(parent).definition is DefState.PARTIAL
+                ):
+                    code = MessageCode.UNINIT_FIELD
+                    text = (
+                        f"Field {name} read while "
+                        f"{self.describe_ref(parent)} is only partially "
+                        f"initialized"
+                    )
+            self.reporter.report(code, loc, text)
             # poison to avoid cascades
             store.set_state(ref, st.with_definition(DefState.ERROR))
         elif st.definition is DefState.DEAD or st.alloc is AllocState.DEAD:
@@ -218,13 +240,13 @@ class ExprMixin:
     # Each _eval_* handler: (expr, store, want_lvalue) -> Value.
 
     def _eval_intlit(self, expr: A.IntLit, store: Store, want_lvalue: bool) -> Value:
-        return Value.null() if expr.value == 0 else Value.plain()
+        return _constant_value(expr.value)
 
     def _eval_floatlit(self, expr, store, want_lvalue) -> Value:
         return Value.plain()
 
     def _eval_charlit(self, expr: A.CharLit, store, want_lvalue) -> Value:
-        return Value.null() if expr.value == 0 else Value.plain()
+        return _constant_value(expr.value)
 
     def _eval_stringlit(self, expr, store, want_lvalue) -> Value:
         return Value(
@@ -243,7 +265,7 @@ class ExprMixin:
                 RefState(DefState.DEFINED, NullState.NOTNULL, AllocState.STATIC)
             )
         elif kind == "enum":
-            return Value.null() if info == 0 else Value.plain()
+            return _constant_value(info) if isinstance(info, int) else Value.plain()
         else:
             return Value.plain()
         if not want_lvalue:
@@ -282,6 +304,8 @@ class ExprMixin:
         self.eval_rvalue(expr.index, store)
         if not base_is_array and arr.ctype is not None and is_pointerish(arr.ctype):
             self.check_deref(arr, store, expr.location, "index", expr)
+        if qref is not None and self.flags.enabled("bounds"):
+            self._check_index_bounds(qref, expr, store)
         if arr.ref is None:
             return Value.plain()
         ref = arr.ref.index(strict=self.flags.enabled("strictindex"),
@@ -289,6 +313,63 @@ class ExprMixin:
         if not want_lvalue:
             self.check_usable(ref, store, expr.location)
         return Value(store.state(ref), ref=ref, ctype=self.ref_type(ref))
+
+    def _index_extent(self, qref: Ref) -> int | None:
+        """The known element count of the indexed storage: a constant
+        array extent, or a ``/*@size(N)@*/`` annotation on a pointer."""
+        qtype = self.ref_type(qref)
+        if qtype is not None:
+            stripped = strip_typedefs(qtype)
+            if isinstance(stripped, Array) and stripped.size is not None:
+                return stripped.size
+        ann = self.declared_annotations(qref)
+        return ann.size_bound
+
+    def _check_index_bounds(self, qref: Ref, expr: A.Index, store: Store) -> None:
+        """Out-of-bounds index checking against known extents.
+
+        Only indexes with *known* value information (a constant, or a
+        range established by constant assignment, guard refinement or a
+        canonical loop bound) can violate: unknown indexes stay silent,
+        which keeps the checker quiet on code it cannot reason about.
+        """
+        extent = self._index_extent(qref)
+        if extent is None:
+            return
+        name = self.describe_ref(qref)
+        const = self._const_int(expr.index)
+        if const is not None:
+            if const < 0 or const >= extent:
+                self.reporter.report(
+                    MessageCode.ARRAY_BOUNDS, expr.location,
+                    f"Likely out-of-bounds access of {name} (index {const}, "
+                    f"{extent} elements): {render_expr(expr)}",
+                )
+            return
+        iref = self.resolve_ref_quiet(expr.index, store)
+        if iref is None:
+            return
+        st = store.peek(iref)
+        rng = st.rng if st is not None else None
+        if rng is None:
+            return
+        lo, hi = rng
+        if lo is not None and hi is not None and lo > hi:
+            return  # infeasible: a guard contradicted the known value
+        if hi is not None and hi >= extent:
+            worst = hi
+        elif lo is not None and lo < 0:
+            worst = lo
+        else:
+            return
+        self.reporter.report(
+            MessageCode.ARRAY_BOUNDS, expr.location,
+            f"Possible out-of-bounds access of {name} (index may reach "
+            f"{worst}, {extent} elements): {render_expr(expr)}",
+        )
+        # Assume the access was meant to be in range: forget the range so
+        # the same index does not re-report at every later access.
+        store.update(iref, lambda s: s.with_range(None))
 
     def _eval_unary(self, expr: A.Unary, store: Store, want_lvalue: bool) -> Value:
         op = expr.op
@@ -310,7 +391,11 @@ class ExprMixin:
         if op in ("++", "--", "p++", "p--"):
             target = self.eval_rvalue(expr.operand, store)
             if target.ref is not None:
-                store.update(target.ref, lambda s: s.with_definition(DefState.DEFINED))
+                # The mutated value no longer matches any recorded range.
+                store.update(
+                    target.ref,
+                    lambda s: s.with_definition(DefState.DEFINED).with_range(None),
+                )
             return Value(target.state, ctype=target.ctype)
         if op == "!":
             self.eval_rvalue(expr.operand, store)
@@ -382,7 +467,8 @@ class ExprMixin:
             target = self.eval_lvalue(expr.target, store)
             if target.ref is not None:
                 store.update(
-                    target.ref, lambda s: s.with_definition(DefState.DEFINED)
+                    target.ref,
+                    lambda s: s.with_definition(DefState.DEFINED).with_range(None),
                 )
             return value
 
@@ -416,6 +502,7 @@ class ExprMixin:
             definition=self._assigned_definition(value),
             null=value.state.null,
             alloc=new_alloc,
+            rng=value.state.rng,
         )
 
         self._degrade_or_promote_ancestors(tref, new_state, store, equivalents)

@@ -81,6 +81,7 @@ class AnnotationSet:
     returned: bool = False
     truenull: bool = False
     falsenull: bool = False
+    size_bound: int | None = None
     names: tuple[str, ...] = field(default=(), compare=False)
 
     def is_empty(self) -> bool:
@@ -93,6 +94,7 @@ class AnnotationSet:
             and not self.returned
             and not self.truenull
             and not self.falsenull
+            and self.size_bound is None
         )
 
     def merged_under(self, base: "AnnotationSet") -> "AnnotationSet":
@@ -119,6 +121,10 @@ class AnnotationSet:
             returned=self.returned or base.returned,
             truenull=self.truenull or base.truenull,
             falsenull=self.falsenull or base.falsenull,
+            size_bound=(
+                self.size_bound if self.size_bound is not None
+                else base.size_bound
+            ),
             names=tuple(dict.fromkeys(self.names + base.names)),
         )
 

@@ -46,8 +46,8 @@ class AnnotationBuilder:
 
     __slots__ = (
         "_null", "_definition", "_alloc", "_exposure", "_unique",
-        "_returned", "_truenull", "_falsenull", "_names", "problems",
-        "_touched",
+        "_returned", "_truenull", "_falsenull", "_size", "_names",
+        "problems", "_touched",
     )
 
     def __init__(self) -> None:
@@ -59,6 +59,7 @@ class AnnotationBuilder:
         self._returned = False
         self._truenull = False
         self._falsenull = False
+        self._size: int | None = None
         self._names: list[str] = []
         self.problems: list[AnnotationProblem] = []
         self._touched = False
@@ -69,6 +70,37 @@ class AnnotationBuilder:
 
     def add_word(self, word: str, location: Location) -> None:
         self._touched = True
+        if word.startswith("size(") and word.endswith(")"):
+            # The one parameterized annotation: /*@size(N)@*/ declares the
+            # pointed-to storage to hold exactly N elements, feeding the
+            # out-of-bounds index checker the same extent knowledge a
+            # constant array declaration would.
+            payload = word[len("size("):-1]
+            try:
+                extent = int(payload, 0)
+            except ValueError:
+                extent = -1
+            if extent < 0:
+                self.problems.append(
+                    AnnotationProblem(
+                        location,
+                        f"malformed size annotation {word!r} "
+                        f"(expected a non-negative integer extent)",
+                    )
+                )
+                return
+            if self._size is not None and self._size != extent:
+                self.problems.append(
+                    AnnotationProblem(
+                        location,
+                        f"incompatible annotations: 'size({self._size})' and "
+                        f"{word!r} (at most one size annotation is permitted)",
+                    )
+                )
+                return
+            self._size = extent
+            self._names.append(word)
+            return
         entry = ANNOTATION_WORDS.get(word)
         if entry is None:
             self.problems.append(
@@ -128,6 +160,7 @@ class AnnotationBuilder:
             returned=self._returned,
             truenull=self._truenull,
             falsenull=self._falsenull,
+            size_bound=self._size,
             names=tuple(self._names),
         )
 

@@ -33,6 +33,9 @@ class BugKind(enum.Enum):
     UNINIT_READ = "uninitialized-read"
     STATIC_FREE = "static-free"
     OFFSET_FREE = "offset-free"
+    OUT_OF_BOUNDS = "out-of-bounds"
+    UNINIT_FIELD = "uninit-field-read"
+    DOUBLE_FREE_ALIAS = "double-free-alias"
 
     @property
     def error_class(self) -> str:
@@ -58,6 +61,9 @@ STATIC_SIGNATURES: dict[BugKind, set[MessageCode]] = {
     BugKind.UNINIT_READ: {MessageCode.USE_BEFORE_DEF},
     BugKind.STATIC_FREE: {MessageCode.BAD_TRANSFER},
     BugKind.OFFSET_FREE: {MessageCode.BAD_TRANSFER},
+    BugKind.OUT_OF_BOUNDS: {MessageCode.ARRAY_BOUNDS},
+    BugKind.UNINIT_FIELD: {MessageCode.UNINIT_FIELD},
+    BugKind.DOUBLE_FREE_ALIAS: {MessageCode.DOUBLE_RELEASE},
 }
 
 #: Runtime event kinds that count as detecting each bug kind.
@@ -70,7 +76,22 @@ RUNTIME_SIGNATURES: dict[BugKind, set[RuntimeEventKind]] = {
     BugKind.UNINIT_READ: {RuntimeEventKind.UNINIT_READ},
     BugKind.STATIC_FREE: {RuntimeEventKind.INVALID_FREE},
     BugKind.OFFSET_FREE: {RuntimeEventKind.INVALID_FREE},
+    BugKind.OUT_OF_BOUNDS: {RuntimeEventKind.OUT_OF_BOUNDS},
+    BugKind.UNINIT_FIELD: {RuntimeEventKind.UNINIT_READ},
+    BugKind.DOUBLE_FREE_ALIAS: {RuntimeEventKind.DOUBLE_FREE},
 }
+
+#: Runtime event classes that *witness* each plantable error class: the
+#: instrumented heap has no notion of the static refinements, so a
+#: planted ``uninit-field-read`` manifests as an ``uninitialized-read``
+#: event and a planted ``double-free-alias`` as a ``double-free``. Plant
+#: confirmation and runtime TP scoring go through this map.
+RUNTIME_WITNESSES: dict[str, frozenset[str]] = {}
+for _kind in BugKind:
+    RUNTIME_WITNESSES[_kind.error_class] = RUNTIME_WITNESSES.get(
+        _kind.error_class, frozenset()
+    ) | frozenset(e.error_class for e in RUNTIME_SIGNATURES[_kind])
+del _kind
 
 
 @dataclass(frozen=True)
@@ -157,6 +178,41 @@ static /*@null@*/ /*@only@*/ {rec} maybe_{name}(int n)
   printf("{name}: %s\\n", buf);
   free(buf + 1);
 """
+    elif kind is BugKind.OUT_OF_BOUNDS:
+        # The canonical off-by-one loop: the last store lands one past
+        # the extent (the body only writes, so the zero-iteration path
+        # never reads undefined elements).
+        body = f"""
+  int a[4];
+  int i;
+  for (i = 0; i <= 4; i++) {{
+    a[i] = i * 2;
+  }}
+  printf("{name}: %d\\n", i);
+"""
+    elif kind is BugKind.UNINIT_FIELD:
+        # Two of three fields written: the struct is partially defined
+        # when the unwritten counter is read.
+        body = f"""
+  struct _rec{module} local;
+  int t;
+  local.name = "fixed";
+  local.next = NULL;
+  t = local.count;
+  printf("{name}: %d\\n", t);
+"""
+    elif kind is BugKind.DOUBLE_FREE_ALIAS:
+        body = f"""
+  char *p = (char *) malloc(8);
+  char *q;
+  if (p == NULL) {{ exit(EXIT_FAILURE); }}
+  p[0] = 'a';
+  p[1] = 0;
+  q = p;
+  printf("{name}: %s\\n", q);
+  free(p);
+  free(q);
+"""
     else:  # pragma: no cover
         raise ValueError(kind)
     return helpers, body
@@ -166,17 +222,23 @@ static /*@null@*/ /*@only@*/ {rec} maybe_{name}(int n)
 _bug_body = bug_body
 
 
-#: Guard idioms that historically drew false positives (?: arms checked
+#: Clean scenario recipes guarding the checkers' false-positive rate:
+#: guard idioms that historically drew spurious messages (?: arms checked
 #: against the unguarded store; assignment-in-condition results not
-#: refined by the comparison). Each entry is a *clean* scenario recipe —
-#: no static message and no runtime event is correct — so a regression
-#: in guard analysis shows up as a static-fp discrepancy in the
-#: differential campaign instead of only in unit tests.
+#: refined by the comparison), plus the benign twin of each of the three
+#: refinement checkers (an in-bounds counting loop, a fully-initialized
+#: struct, an alias freed exactly once). No static message and no runtime
+#: event is correct for any entry, so a checker regression shows up as a
+#: static-fp discrepancy in the differential campaign instead of only in
+#: unit tests.
 GUARD_CLEAN_IDIOMS: tuple[str, ...] = (
     "ternary-guard-and",    # (p != NULL && ...) ? use p : fallback
     "ternary-truth",        # p ? use p : fallback
     "assign-cond-eq",       # if ((p = malloc(..)) == NULL) return;
     "assign-cond-ne",       # if ((p = malloc(..)) != NULL) { use p }
+    "index-loop-bounded",   # for (i = 0; i < N; i++) a[i] = ...  (in range)
+    "struct-full-init",     # every field written before the read
+    "alias-single-free",    # q = p; free(q);  (freed exactly once)
 )
 
 
@@ -246,6 +308,39 @@ static /*@null@*/ /*@only@*/ {rec} opt_{name}(int n)
     free(t);
   }}
   printf("{name}: %d\\n", v);
+"""
+    elif idiom == "index-loop-bounded":
+        helpers = ""
+        body = f"""
+  int a[4];
+  int i;
+  for (i = 0; i < 4; i++) {{
+    a[i] = i * 2;
+  }}
+  printf("{name}: %d\\n", i);
+"""
+    elif idiom == "struct-full-init":
+        helpers = ""
+        body = f"""
+  struct _rec{module} local;
+  int t;
+  local.name = "fixed";
+  local.next = NULL;
+  local.count = 4;
+  t = local.count;
+  printf("{name}: %d\\n", t);
+"""
+    elif idiom == "alias-single-free":
+        helpers = ""
+        body = f"""
+  char *p = (char *) malloc(8);
+  char *q;
+  if (p == NULL) {{ exit(EXIT_FAILURE); }}
+  p[0] = 'a';
+  p[1] = 0;
+  q = p;
+  printf("{name}: %s\\n", q);
+  free(q);
 """
     else:
         raise ValueError(f"unknown guard idiom {idiom!r}")

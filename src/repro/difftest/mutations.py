@@ -4,7 +4,8 @@ Each variant starts from :func:`repro.bench.generator.generate_program`
 output and receives exactly one mutation: the body of one driver
 scenario function is replaced by a bug recipe from the paper's error
 catalogue (:func:`repro.bench.seeding.bug_body` — null dereference,
-use-after-free, double free, invalid free, uninitialized read, leak).
+use-after-free, double free, invalid free, uninitialized read, leak,
+out-of-bounds store, partial-struct field read, aliased double free).
 The mutation carries machine-readable ground truth: the planted error
 class, the containing function, and the line window of the spliced
 statements. A fraction of variants stays clean so false positives are
@@ -36,9 +37,10 @@ from ..bench.seeding import (
     guard_clean_body,
 )
 
-#: The error classes a campaign plants and scores, mirroring
-#: :class:`repro.runtime.heap.RuntimeEventKind` (out-of-bounds is not
-#: plantable through the annotation catalogue, so it has no row).
+#: The error classes a campaign plants and scores: every
+#: :class:`repro.runtime.heap.RuntimeEventKind` class plus the static
+#: refinement classes (a partial-struct field read manifests at run time
+#: as an uninitialized read, an aliased double free as a double free).
 CAMPAIGN_CLASSES: tuple[str, ...] = (
     "null-dereference",
     "uninitialized-read",
@@ -46,6 +48,9 @@ CAMPAIGN_CLASSES: tuple[str, ...] = (
     "double-free",
     "invalid-free",
     "leak",
+    "out-of-bounds",
+    "uninit-field-read",
+    "double-free-alias",
 )
 
 

@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..bench.seeding import (
+    RUNTIME_WITNESSES,
     SeededBug,
     function_line_ranges,
     match_static_detections,
@@ -69,11 +70,18 @@ class DualVerdict:
 
     @property
     def plant_confirmed(self) -> bool:
-        """Did the instrumented heap observe the planted class at all?"""
-        return (
-            self.planted_class is None
-            or self.planted_class in self.oracle.event_classes
+        """Did the instrumented heap observe the planted class at all?
+
+        Static refinement classes are confirmed by their coarser run-time
+        witness (:data:`repro.bench.seeding.RUNTIME_WITNESSES`): the heap
+        reports a partial-struct field read as an uninitialized read.
+        """
+        if self.planted_class is None:
+            return True
+        witnesses = RUNTIME_WITNESSES.get(
+            self.planted_class, frozenset({self.planted_class})
         )
+        return bool(witnesses & set(self.oracle.event_classes))
 
 
 class _ParsedVariant:

@@ -36,13 +36,30 @@ CORROBORATED_BY: dict[str, frozenset[str]] = {
 CORROBORATED_BY["use-after-free"] = frozenset(
     {"use-after-free", "double-free"}
 )
+# The static refinement classes have no run-time twin: the instrumented
+# heap sees a partial-struct field read as a plain uninitialized read and
+# an aliased double free as a double free (or, with intervening reuse, a
+# use-after-free).
+CORROBORATED_BY["uninit-field-read"] = frozenset(
+    {"uninit-field-read", "uninitialized-read"}
+)
+CORROBORATED_BY["double-free-alias"] = frozenset(
+    {"double-free-alias", "double-free", "use-after-free"}
+)
 #: ...and vice versa: a planted double free's static witness arrives as
-#: the use-after-free class.
+#: the use-after-free class, and a planted refinement-class bug is
+#: witnessed at run time by its coarser dynamic class.
 STATIC_EQUIVALENTS: dict[str, frozenset[str]] = {
     cls: frozenset({cls}) for cls in CAMPAIGN_CLASSES
 }
 STATIC_EQUIVALENTS["double-free"] = frozenset(
     {"double-free", "use-after-free"}
+)
+STATIC_EQUIVALENTS["uninit-field-read"] = frozenset(
+    {"uninit-field-read", "uninitialized-read"}
+)
+STATIC_EQUIVALENTS["double-free-alias"] = frozenset(
+    {"double-free-alias", "double-free", "use-after-free"}
 )
 
 

@@ -57,6 +57,16 @@ _register("globstate", True, "global variable state checking at interfaces", "in
 _register("mods", True, "modification checking against modifies clauses", "interfaces")
 _register("retvalother", False, "ignored non-boolean return values", "interfaces")
 
+_register("bounds", True,
+          "out-of-bounds array index checking against known extents",
+          "definition")
+_register("fielddef", True,
+          "reads of unwritten fields of partially-initialized structs",
+          "definition")
+_register("aliasfree", True,
+          "double release of the same storage through an alias",
+          "allocation")
+
 _register("allimponly", True,
           "implicit only on return values, globals and structure fields",
           "implicit")

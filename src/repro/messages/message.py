@@ -48,6 +48,9 @@ class MessageCode(enum.Enum):
     GLOBAL_UNDEFINED = ("global-undefined", "globstate")
     RET_VAL_IGNORED = ("ret-val-ignored", "retvalother")
     MODIFIES = ("modifies", "mods")
+    ARRAY_BOUNDS = ("array-bounds", "bounds")
+    UNINIT_FIELD = ("uninit-field", "fielddef")
+    DOUBLE_RELEASE = ("double-release", "aliasfree")
     PARSE_ERROR = ("parse-error", "syntax")
     INTERNAL_ERROR = ("internal-error", "internal")
 
@@ -78,11 +81,13 @@ _CODE_BY_SLUG: dict[str, MessageCode] = {code.slug: code for code in MessageCode
 #: the vocabulary of :class:`repro.runtime.heap.RuntimeEventKind` (the
 #: difftest verdict comparer aligns the two detectors through it). The
 #: mapping is canonical one-to-one: ``USE_AFTER_RELEASE`` maps to
-#: ``use-after-free`` even though the checker reports double frees under
-#: the same code (freeing *is* a use of released storage), and
-#: ``BAD_TRANSFER`` maps to ``invalid-free`` even though it also covers
-#: other ownership-transfer errors. Codes with no dynamic counterpart
-#: (style, parse, annotation problems) are absent.
+#: ``use-after-free`` even though the checker reports *direct* double
+#: frees under the same code (freeing *is* a use of released storage),
+#: and ``BAD_TRANSFER`` maps to ``invalid-free`` even though it also
+#: covers other ownership-transfer errors. A double free reached through
+#: an alias (``q = p; free(p); free(q);``) gets its own code,
+#: ``DOUBLE_RELEASE``, and its own class. Codes with no dynamic
+#: counterpart (style, parse, annotation problems) are absent.
 MEMORY_ERROR_CLASSES: dict[MessageCode, str] = {
     MessageCode.NULL_DEREF: "null-dereference",
     MessageCode.USE_BEFORE_DEF: "uninitialized-read",
@@ -93,6 +98,9 @@ MEMORY_ERROR_CLASSES: dict[MessageCode, str] = {
     MessageCode.LEAK_RESULT: "leak",
     MessageCode.ONLY_NOT_RELEASED: "leak",
     MessageCode.BAD_TRANSFER: "invalid-free",
+    MessageCode.ARRAY_BOUNDS: "out-of-bounds",
+    MessageCode.UNINIT_FIELD: "uninit-field-read",
+    MessageCode.DOUBLE_RELEASE: "double-free-alias",
 }
 
 

@@ -36,8 +36,8 @@ class TestExamples:
 
     def test_static_vs_dynamic(self):
         output = run_example("static_vs_dynamic.py")
-        assert "static:  7/7" in output
-        assert "runtime: 3/7" in output
+        assert "static:  10/10" in output
+        assert "runtime: 5/10" in output
 
     def test_explore_cfg(self):
         output = run_example("explore_cfg.py")

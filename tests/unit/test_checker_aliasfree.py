@@ -1,0 +1,70 @@
+"""Double release through an alias (`aliasfree` flag).
+
+``q = p; free(p); free(q);`` releases the same storage twice through
+different names. The alias analysis already saw this as a bad transfer
+of kept storage; the refinement gives it its own code so the aliased
+double free is scored as a distinct error class. A *direct* second free
+of the same name stays the use-after-release diagnosis (the second free
+is a use of released storage).
+"""
+
+from repro import Flags, check_source
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+
+def codes(source, flags=NOIMP):
+    return [m.code for m in check_source(source, "t.c", flags=flags).messages]
+
+
+def texts(source, flags=NOIMP):
+    return [m.text for m in check_source(source, "t.c", flags=flags).messages]
+
+
+ALIAS_DF = """#include <stdlib.h>
+void f(/*@only@*/ char *p) { char *q; q = p; free(p); free(q); }
+"""
+
+ALIAS_DF_LOCAL = """#include <stdlib.h>
+void f(void) {
+    char *p = (char *) malloc(8);
+    char *q;
+    if (p == NULL) { exit(EXIT_FAILURE); }
+    p[0] = 'a';
+    q = p;
+    free(p);
+    free(q);
+}
+"""
+
+
+class TestAliasDoubleFree:
+    def test_alias_double_free_has_its_own_code(self):
+        assert codes(ALIAS_DF) == [MessageCode.DOUBLE_RELEASE]
+        assert "released twice" in texts(ALIAS_DF)[0]
+
+    def test_alias_double_free_of_local_allocation(self):
+        result = codes(ALIAS_DF_LOCAL)
+        assert MessageCode.DOUBLE_RELEASE in result
+
+    def test_alias_freed_exactly_once_is_clean(self):
+        src = """#include <stdlib.h>
+        void f(/*@only@*/ char *p) { char *q; q = p; free(q); }
+        """
+        assert codes(src) == []
+
+    def test_direct_double_free_keeps_use_after_release(self):
+        # Re-freeing the same name is a use of released storage; the
+        # double-free campaign class keeps its static witness.
+        src = """#include <stdlib.h>
+        void f(/*@only@*/ char *p) { free(p); free(p); }
+        """
+        assert MessageCode.USE_AFTER_RELEASE in codes(src)
+        assert MessageCode.DOUBLE_RELEASE not in codes(src)
+
+
+class TestFlagGating:
+    def test_minus_aliasfree_falls_back_to_bad_transfer(self):
+        off = Flags.from_args(["-allimponly", "-aliasfree"])
+        assert codes(ALIAS_DF, off) == [MessageCode.BAD_TRANSFER]

@@ -1,0 +1,130 @@
+"""Out-of-bounds index checking against known extents (`bounds` flag).
+
+The checker knows an extent from a declared array size or a
+``/*@size(N)@*/`` annotation, and an index range from constants, guard
+refinement, and the canonical counting-loop widening. It warns only when
+the known range provably reaches outside the extent — unknown indices
+stay silent, so range understatement is FP-safe.
+"""
+
+from repro import Flags, check_source
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+
+def codes(source, flags=NOIMP):
+    return [m.code for m in check_source(source, "t.c", flags=flags).messages]
+
+
+def texts(source, flags=NOIMP):
+    return [m.text for m in check_source(source, "t.c", flags=flags).messages]
+
+
+class TestConstantIndex:
+    def test_constant_index_past_extent(self):
+        src = "void f(void) { int a[4]; a[5] = 1; }"
+        assert codes(src) == [MessageCode.ARRAY_BOUNDS]
+        assert "index 5, 4 elements" in texts(src)[0]
+
+    def test_constant_index_at_extent(self):
+        # a[4] is one past the end of int a[4]
+        src = "void f(void) { int a[4]; a[4] = 1; }"
+        assert codes(src) == [MessageCode.ARRAY_BOUNDS]
+
+    def test_negative_constant_index(self):
+        src = "void f(void) { int a[4]; a[-1] = 1; }"
+        assert codes(src) == [MessageCode.ARRAY_BOUNDS]
+
+    def test_last_valid_index_is_clean(self):
+        src = "void f(void) { int a[4]; a[3] = 1; a[0] = 2; }"
+        assert codes(src) == []
+
+
+class TestLoopBounds:
+    def test_off_by_one_loop_bound(self):
+        src = """void f(void) {
+            int a[4];
+            int i;
+            for (i = 0; i <= 4; i++) { a[i] = i * 2; }
+        }"""
+        assert codes(src) == [MessageCode.ARRAY_BOUNDS]
+        assert "index may reach 4, 4 elements" in texts(src)[0]
+
+    def test_exclusive_loop_bound_is_clean(self):
+        src = """void f(void) {
+            int a[4];
+            int i;
+            for (i = 0; i < 4; i++) { a[i] = i * 2; }
+        }"""
+        assert codes(src) == []
+
+    def test_one_report_per_index_not_per_use(self):
+        # After the first report the index's range is forgotten, so a
+        # single bad bound does not cascade into a message per access.
+        src = """void f(void) {
+            int a[4];
+            int b[4];
+            int i;
+            for (i = 0; i <= 4; i++) { a[i] = 1; b[i] = 2; }
+        }"""
+        assert codes(src) == [MessageCode.ARRAY_BOUNDS]
+
+
+class TestGuardRefinement:
+    def test_range_guard_makes_index_clean(self):
+        src = """void f(int i) {
+            int a[4];
+            if (i >= 0 && i < 4) { a[i] = 1; }
+        }"""
+        assert codes(src) == []
+
+    def test_loose_guard_still_warns(self):
+        src = """void f(int i) {
+            int a[4];
+            if (i >= 0 && i < 8) { a[i] = 1; }
+        }"""
+        assert codes(src) == [MessageCode.ARRAY_BOUNDS]
+
+    def test_equality_guard_pins_the_index(self):
+        clean = """void f(int i) {
+            int a[4];
+            if (i == 2) { a[i] = 1; }
+        }"""
+        bad = """void f(int i) {
+            int a[4];
+            if (i == 9) { a[i] = 1; }
+        }"""
+        assert codes(clean) == []
+        assert codes(bad) == [MessageCode.ARRAY_BOUNDS]
+
+    def test_unknown_index_stays_silent(self):
+        # No range knowledge => no claim. Understating is FP-safe.
+        src = "void f(int i) { int a[4]; a[i] = 1; }"
+        assert codes(src) == []
+
+
+class TestSizeAnnotation:
+    def test_size_annotation_bounds_a_pointer(self):
+        src = """void f(/*@size(4)@*/ int *p) { p[6] = 1; }"""
+        assert codes(src) == [MessageCode.ARRAY_BOUNDS]
+        assert "index 6, 4 elements" in texts(src)[0]
+
+    def test_size_annotation_in_range_is_clean(self):
+        src = """void f(/*@size(4)@*/ int *p) { p[3] = 1; }"""
+        assert codes(src) == []
+
+    def test_unannotated_pointer_has_no_extent(self):
+        src = "void f(int *p) { p[6] = 1; }"
+        assert codes(src) == []
+
+    def test_malformed_size_annotation_is_reported(self):
+        src = "extern void g(/*@size(wat)@*/ int *p);"
+        assert MessageCode.ANNOTATION_PROBLEM in codes(src)
+
+
+class TestFlagGating:
+    def test_minus_bounds_silences_the_checker(self):
+        src = "void f(void) { int a[4]; a[5] = 1; }"
+        off = Flags.from_args(["-allimponly", "-bounds"])
+        assert codes(src, off) == []

@@ -1,0 +1,64 @@
+"""Partial-struct field reads (`fielddef` flag).
+
+Reading an unwritten field of a *partially* initialized struct draws the
+refined ``uninit-field`` code; a wholly-undefined struct keeps the plain
+use-before-def diagnosis, and a fully-written struct is clean.
+"""
+
+from repro import Flags, check_source
+from repro.messages.message import MessageCode
+
+NOIMP = Flags.from_args(["-allimponly"])
+
+STRUCT = "struct s { int x; int y; };\n"
+
+
+def codes(source, flags=NOIMP):
+    return [m.code for m in check_source(source, "t.c", flags=flags).messages]
+
+
+def texts(source, flags=NOIMP):
+    return [m.text for m in check_source(source, "t.c", flags=flags).messages]
+
+
+class TestPartialReads:
+    def test_unwritten_field_of_partial_struct(self):
+        src = STRUCT + "int f(void) { struct s v; v.x = 1; return v.y; }"
+        assert codes(src) == [MessageCode.UNINIT_FIELD]
+        assert "v.y read while v is only partially initialized" in texts(src)[0]
+
+    def test_fully_written_struct_is_clean(self):
+        src = STRUCT + (
+            "int f(void) { struct s v; v.x = 1; v.y = 2; return v.y; }"
+        )
+        assert codes(src) == []
+
+    def test_reading_the_written_field_is_clean(self):
+        src = STRUCT + "int f(void) { struct s v; v.x = 1; return v.x; }"
+        assert codes(src) == []
+
+    def test_read_poisons_to_stop_cascades(self):
+        # One message per unwritten field, not one per use.
+        src = STRUCT + (
+            "int f(void) { struct s v; v.x = 1; return v.y + v.y; }"
+        )
+        assert codes(src) == [MessageCode.UNINIT_FIELD]
+
+
+class TestDiagnosisBoundary:
+    def test_wholly_undefined_struct_keeps_use_before_def(self):
+        # No field written at all: that is a plain use-before-def, so
+        # the uninitialized-read campaign class keeps its witness.
+        src = STRUCT + "int f(void) { struct s v; return v.y; }"
+        assert codes(src) == [MessageCode.USE_BEFORE_DEF]
+
+    def test_plain_scalar_keeps_use_before_def(self):
+        src = "int f(void) { int x; return x; }"
+        assert codes(src) == [MessageCode.USE_BEFORE_DEF]
+
+
+class TestFlagGating:
+    def test_minus_fielddef_falls_back_to_use_before_def(self):
+        src = STRUCT + "int f(void) { struct s v; v.x = 1; return v.y; }"
+        off = Flags.from_args(["-allimponly", "-fielddef"])
+        assert codes(src, off) == [MessageCode.USE_BEFORE_DEF]

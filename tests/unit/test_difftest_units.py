@@ -39,9 +39,16 @@ from repro.messages.message import MEMORY_ERROR_CLASSES, MessageCode
 
 
 def test_campaign_classes_cover_runtime_event_kinds():
+    # Every run-time event class is plantable and scored; the campaign
+    # additionally plants the static refinement classes, whose run-time
+    # witness is a coarser event class (partial-struct field read ->
+    # uninitialized read, aliased double free -> double free).
     runtime_classes = {k.error_class for k in RuntimeEventKind}
-    # out-of-bounds is not plantable through the annotation catalogue
-    assert runtime_classes - {"out-of-bounds"} == set(CAMPAIGN_CLASSES)
+    assert runtime_classes <= set(CAMPAIGN_CLASSES)
+    assert set(CAMPAIGN_CLASSES) - runtime_classes == {
+        "uninit-field-read",
+        "double-free-alias",
+    }
 
 
 def test_every_bug_kind_maps_to_a_campaign_class():
@@ -124,6 +131,9 @@ def test_clean_controls_cycle_through_guard_idioms():
         "ternary-truth": "r ? r->count : 0",
         "assign-cond-eq": "malloc(4)) == NULL",
         "assign-cond-ne": "malloc(4)) != NULL",
+        "index-loop-bounded": "a[i] = i * 2",
+        "struct-full-init": "local.count = 4;",
+        "alias-single-free": "free(q);",
     }
     clean_seeds = [4 * (k + 1) - 1 for k in range(1 + len(GUARD_CLEAN_IDIOMS))]
     plain = engine.variant(clean_seeds[0])

@@ -118,6 +118,19 @@ CATALOG: dict[MessageCode, tuple[str, Flags]] = {
         "extern int g;\nvoid f(void) /*@modifies nothing@*/ { g = 1; }",
         NOIMP,
     ),
+    MessageCode.ARRAY_BOUNDS: (
+        "void f(void) { int a[4]; a[5] = 1; }", NOIMP,
+    ),
+    MessageCode.UNINIT_FIELD: (
+        "struct s { int x; int y; };\n"
+        "int f(void) { struct s v; v.x = 1; return v.y; }",
+        NOIMP,
+    ),
+    MessageCode.DOUBLE_RELEASE: (
+        "#include <stdlib.h>\n"
+        "void f(/*@only@*/ char *p) { char *q; q = p; free(p); free(q); }",
+        NOIMP,
+    ),
     MessageCode.PARSE_ERROR: (
         "int broken(int x) { return x + ; }", NOIMP,
     ),
