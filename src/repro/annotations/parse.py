@@ -79,13 +79,16 @@ class AnnotationBuilder:
             try:
                 extent = int(payload, 0)
             except ValueError:
-                extent = -1
-            if extent < 0:
+                extent = 0
+            # A zero or negative extent would feed the bounds checker a
+            # vacuous bound that flags every index; storage that holds
+            # at least one element is the smallest meaningful claim.
+            if extent < 1:
                 self.problems.append(
                     AnnotationProblem(
                         location,
                         f"malformed size annotation {word!r} "
-                        f"(expected a non-negative integer extent)",
+                        f"(expected a positive integer extent)",
                     )
                 )
                 return

@@ -41,6 +41,13 @@ Incremental & parallel checking (see docs/internals.md):
     --cache                 cache per-unit results under .pylclint-cache/
     --cache-dir DIR         cache per-unit results under DIR
     --no-cache              disable the result cache
+    --shard-strategy S      how units are batched across workers:
+                            interface (default; interface-dependency
+                            clusters travel together), size (best
+                            balance), or round-robin
+    --cache-server ADDR     consult a shared cache service on local
+                            misses (HOST:PORT or unix:PATH; start one
+                            with python -m repro.incremental.cacheserver)
 
 Checking service (see docs/internals.md section 9):
 
@@ -164,6 +171,8 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
     quiet = False
     cache_dir: str | None = None
     no_cache = False
+    shard_strategy = "interface"
+    cache_server: str | None = None
     trace_out: str | None = None
     trace_format = "jsonl"
     metrics_out: str | None = None
@@ -225,6 +234,20 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
             cache_dir = DEFAULT_CACHE_DIR
         elif arg in ("--no-cache", "-no-cache"):
             no_cache = True
+        elif arg in ("--shard-strategy", "-shard-strategy"):
+            i += 1
+            if i >= len(argv):
+                raise CliError("--shard-strategy requires a strategy name")
+            shard_strategy = argv[i]
+        elif arg.startswith("--shard-strategy="):
+            shard_strategy = arg.split("=", 1)[1]
+        elif arg in ("--cache-server", "-cache-server"):
+            i += 1
+            if i >= len(argv):
+                raise CliError("--cache-server requires an address")
+            cache_server = argv[i]
+        elif arg.startswith("--cache-server="):
+            cache_server = arg.split("=", 1)[1]
         elif arg in ("--trace-out", "-trace-out"):
             i += 1
             if i >= len(argv):
@@ -274,6 +297,23 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
 
         cache = ResultCache(cache_dir)
 
+    from ..incremental.shard import STRATEGIES
+
+    if shard_strategy not in STRATEGIES:
+        raise CliError(
+            f"unknown shard strategy {shard_strategy!r} "
+            f"(expected one of {', '.join(STRATEGIES)})"
+        )
+
+    remote = None
+    if cache_server is not None:
+        from ..incremental.cacheserver import CacheClient
+
+        try:
+            remote = CacheClient(cache_server)
+        except ValueError as exc:
+            raise CliError(str(exc)) from exc
+
     if trace_format not in ("jsonl", "chrome"):
         raise CliError(
             f"unknown trace format {trace_format!r} "
@@ -302,7 +342,7 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
             # --profile and observability need the instrumented engine
             # even without a cache.
             if cache is not None or jobs > 1 or want_profile \
-                    or obs is not None:
+                    or obs is not None or remote is not None:
                 from ..incremental.engine import IncrementalChecker
 
                 checker = IncrementalChecker(
@@ -315,6 +355,8 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
                     ),
                     tracer=obs.tracer if obs is not None else None,
                     metrics=obs.metrics if obs is not None else None,
+                    remote=remote,
+                    shard_strategy=shard_strategy,
                 )
                 for lib in load_paths:
                     checker.load_library(lib)
@@ -335,6 +377,8 @@ def run(argv: list[str], cache=None, jobs: int | None = None) -> tuple[int, str]
         except OSError as exc:
             raise CliError(str(exc)) from exc
     finally:
+        if remote is not None:
+            remote.close()
         # Flush the trace file and metrics dump even when the run died:
         # a partial trace of a failed run is exactly what gets debugged.
         if obs is not None:

@@ -11,22 +11,34 @@ that modularity into an engine:
   result cache (``.pylclint-cache/``);
 * :mod:`repro.incremental.engine` — the :class:`IncrementalChecker`
   orchestrating memo lookups, cache hits, and (re)checking;
-* :mod:`repro.incremental.parallel` — fan-out of per-unit checks over a
-  process pool;
+* :mod:`repro.incremental.shard` — partitioning units into worker
+  shards by interface-dependency cluster, size, or round-robin;
+* :mod:`repro.incremental.parallel` — the sharded scheduler fanning
+  per-unit checks over a fork pool with work-stealing;
+* :mod:`repro.incremental.cacheserver` — the shared cache service
+  (``--cache-server``) letting independent workers, machines, and CI
+  runs trade fingerprint-keyed results and unit memos;
 * :mod:`repro.incremental.server` — the ``pylclint --daemon`` batch
   driver answering repeated requests from one warm process.
 """
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .cacheserver import CacheClient, CacheServer, CacheServerThread
 from .engine import CheckStats, IncrementalChecker
 from .fingerprint import ENGINE_VERSION
 from .server import DaemonServer
+from .shard import Shard, partition_units
 
 __all__ = [
+    "CacheClient",
+    "CacheServer",
+    "CacheServerThread",
     "CheckStats",
     "DaemonServer",
     "DEFAULT_CACHE_DIR",
     "ENGINE_VERSION",
     "IncrementalChecker",
     "ResultCache",
+    "Shard",
+    "partition_units",
 ]

@@ -356,6 +356,25 @@ class ResultCache:
                 raw_lines = handle.read().split(b"\n")
         except OSError:
             return
+        entries, corrupt = self._parse_journal_lines(raw_lines)
+        self._journal = entries
+        if corrupt:
+            self.dropped += corrupt
+            self.metrics.inc("cache.entries.dropped", corrupt)
+            self.metrics.inc("cache.journal.healed")
+            self._rewrite_journal()
+        elif len(entries) > JOURNAL_COMPACT_ENTRIES:
+            self.compact_journal()
+
+    @classmethod
+    def _parse_journal_lines(
+        cls, raw_lines: list[bytes]
+    ) -> tuple[dict[str, dict], int]:
+        """Tolerantly parse journal lines → (entries, corrupt count).
+
+        Shared by journal replay and compaction so both agree exactly on
+        what a valid entry is.
+        """
         corrupt = 0
         entries: dict[str, dict] = {}
         for raw in raw_lines:
@@ -371,19 +390,12 @@ class ResultCache:
                 not isinstance(fingerprint, str)
                 or not fingerprint
                 or any(ch not in _HEX for ch in fingerprint)
-                or self._decode_result(record) is None
+                or cls._decode_result(record) is None
             ):
                 corrupt += 1
                 continue
             entries[fingerprint] = record
-        self._journal = entries
-        if corrupt:
-            self.dropped += corrupt
-            self.metrics.inc("cache.entries.dropped", corrupt)
-            self.metrics.inc("cache.journal.healed")
-            self._rewrite_journal()
-        elif len(entries) > JOURNAL_COMPACT_ENTRIES:
-            self.compact_journal()
+        return entries, corrupt
 
     def _rewrite_journal(self) -> None:
         """Atomically replace the journal with the overlay's entries."""
@@ -400,19 +412,38 @@ class ResultCache:
     def compact_journal(self) -> None:
         """Fold journal entries into per-fingerprint files and truncate.
 
-        Runs under the advisory lock; a concurrent process sees either
-        the journal entry or the compacted file, both with identical
-        contents.
+        The whole fold-then-truncate sequence runs under the cache-dir
+        lock, and the entries folded are re-read from the file *inside*
+        the lock. Two processes can both cross the size threshold
+        concurrently, but whichever folds second folds whatever the
+        journal then contains (usually nothing) instead of truncating
+        appends it never observed — folding only this process's
+        in-memory overlay would discard the other process's results.
+        The disk journal is a superset of any process's overlay (an
+        append lands before the overlay is updated), so folding the
+        disk contents never loses a result. A concurrent reader sees
+        either the journal entry or the compacted file, both with
+        identical contents.
         """
-        if not self._journal:
-            return
         with self.lock.exclusive():
-            for fingerprint, payload in self._journal.items():
+            try:
+                with open(self._journal_path(), "rb") as handle:
+                    raw_lines = handle.read().split(b"\n")
+            except OSError:
+                raw_lines = []
+            entries, corrupt = self._parse_journal_lines(raw_lines)
+            if not entries and not corrupt:
+                self._journal.clear()
+                return
+            for fingerprint, payload in entries.items():
                 self._write_bytes(
                     self._entry_path("results", fingerprint, ".json"),
                     json.dumps(payload).encode("utf-8"),
                 )
             self._write_bytes(self._journal_path(), b"")
+        if corrupt:
+            self.dropped += corrupt
+            self.metrics.inc("cache.entries.dropped", corrupt)
         self.metrics.inc("cache.journal.compactions")
         self._journal.clear()
 

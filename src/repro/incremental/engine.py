@@ -68,6 +68,7 @@ from .fingerprint import (
     unit_digests,
 )
 from .parallel import check_units_parallel
+from .shard import STRATEGIES
 
 
 @dataclass
@@ -102,6 +103,12 @@ class CheckStats:
     parallel_used: bool = False
     degraded_units: int = 0
     internal_errors: int = 0
+    # Cache-service traffic (memo + result probes combined). remote_used
+    # gates the render lines so runs without --cache-server keep their
+    # exact historical output.
+    remote_used: bool = False
+    remote_hits: int = 0
+    remote_misses: int = 0
     notes: list[str] = field(default_factory=list)
 
     def render(self) -> str:
@@ -118,6 +125,11 @@ class CheckStats:
             f"  unit memo:         {self.memo_hits} hit(s), "
             f"{self.memo_misses} miss(es)"
         )
+        if self.remote_used:
+            lines.append(
+                f"  cache server:      {self.remote_hits} hit(s), "
+                f"{self.remote_misses} miss(es)"
+            )
         mode = "parallel" if self.parallel_used else "serial"
         lines.append(f"  schedule:          {mode} (jobs={self.jobs})")
         if self.degraded_units:
@@ -226,10 +238,21 @@ class IncrementalChecker:
         crash_dir: str | None = None,
         tracer: Tracer | None = None,
         metrics=None,
+        remote=None,
+        shard_strategy: str = "interface",
     ) -> None:
         self.flags = flags or DEFAULT_FLAGS
         self.cache = cache
         self.jobs = max(1, int(jobs))
+        # A CacheClient (or anything with its get/put surface) consulted
+        # on local cache misses; see incremental/cacheserver.py.
+        self.remote = remote
+        if shard_strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown shard strategy {shard_strategy!r} "
+                f"(expected one of {', '.join(STRATEGIES)})"
+            )
+        self.shard_strategy = shard_strategy
         # The engine always runs under a tracer: phase timings for the
         # --profile table are span durations. Without a sink the tracer
         # only measures (the same perf_counter pairs the ad-hoc timing
@@ -270,7 +293,7 @@ class IncrementalChecker:
         return self.check_sources(files)
 
     def check_sources(self, files: dict[str, str]) -> CheckResult:
-        stats = CheckStats(jobs=self.jobs)
+        stats = CheckStats(jobs=self.jobs, remote_used=self.remote is not None)
         metrics = self.metrics
         metrics.inc("engine.runs")
         if self.cache is not None:
@@ -331,12 +354,30 @@ class IncrementalChecker:
             misses: list[_UnitPlan] = []
             with self.tracer.span("cache", cat="phase") as probe_span:
                 for plan in plans:
-                    if self.cache is not None:
+                    if self.cache is not None or self.remote is not None:
                         plan.fingerprint = check_fingerprint(
                             plan.token_digest, self.flags, prog_digest,
                             flags_fp=flags_fp,
                         )
+                    if self.cache is not None:
                         plan.cached = self.cache.get_result(plan.fingerprint)
+                    if plan.cached is None and self._remote_alive():
+                        # A local miss may be a fleet-wide hit: another
+                        # worker, machine, or CI run published this
+                        # fingerprint to the cache service. A remote hit
+                        # is copied into the local cache so repeat runs
+                        # stop paying the round trip.
+                        remote_hit = self.remote.get_result(plan.fingerprint)
+                        if remote_hit is not None:
+                            stats.remote_hits += 1
+                            plan.cached = remote_hit
+                            if self.cache is not None:
+                                self.cache.put_result(
+                                    plan.fingerprint, remote_hit[0],
+                                    remote_hit[1],
+                                )
+                        else:
+                            stats.remote_misses += 1
                     if plan.cached is not None:
                         stats.cache_hits += 1
                         metrics.inc("cache.result.hit")
@@ -374,6 +415,9 @@ class IncrementalChecker:
                         [p.parsed for p in misses], symtab, self.flags,
                         enum_consts, self.jobs, crash_dir=self.crash_dir,
                         metrics=metrics,
+                        shard_strategy=self.shard_strategy,
+                        cluster_keys=[p.iface_digest for p in misses],
+                        weights=[max(1, len(p.text)) for p in misses],
                     )
                     stats.notes.extend(par_notes)
                     if outputs is None:
@@ -414,6 +458,11 @@ class IncrementalChecker:
                                     plan.fingerprint, output.messages,
                                     output.suppressed
                                 )
+                            if not output.degraded and self._remote_alive():
+                                self.remote.put_result(
+                                    plan.fingerprint, output.messages,
+                                    output.suppressed
+                                )
                 stats.cache_s += write_span.duration
 
             messages, suppressed = merge_unit_outputs(
@@ -439,6 +488,10 @@ class IncrementalChecker:
                     f"entr{'y' if dropped == 1 else 'ies'} under "
                     f"{self.cache.root}"
                 )
+        # A cache-server failure mid-run became silent misses; the note
+        # explains why the run was slower than expected.
+        if self.remote is not None:
+            stats.notes.extend(self.remote.drain_notes())
         return CheckResult(
             messages=messages,
             suppressed=suppressed,
@@ -446,6 +499,13 @@ class IncrementalChecker:
             symtab=symtab,
             degraded_units=[p.name for p in plans if p.output.degraded],
             internal_errors=stats.internal_errors,
+        )
+
+    def _remote_alive(self) -> bool:
+        """The cache service is configured and has not failed this run
+        (the client disables itself on the first transport error)."""
+        return self.remote is not None and not getattr(
+            self.remote, "dead", False
         )
 
     # -- unit identification -------------------------------------------------
@@ -463,15 +523,39 @@ class IncrementalChecker:
         ) as key_span:
             key = source_key(plan.name, plan.text, self.defines)
         stats.fingerprint_s += key_span.duration
-        if self.cache is not None and not self.keep_units:
-            with self.tracer.span(
-                "cache", cat="phase", unit=plan.name
-            ) as memo_span:
-                memo = self.cache.get_unit_memo(key)
-            stats.cache_s += memo_span.duration
-            if memo is not None and self._includes_unchanged(
-                memo.includes, files
-            ):
+        if not self.keep_units:
+            memo = None
+            if self.cache is not None:
+                with self.tracer.span(
+                    "cache", cat="phase", unit=plan.name
+                ) as memo_span:
+                    memo = self.cache.get_unit_memo(key)
+                stats.cache_s += memo_span.duration
+                if memo is not None and not self._includes_unchanged(
+                    memo.includes, files
+                ):
+                    memo = None
+            if memo is None and self._remote_alive():
+                # The memo probe is what makes a remote hit cheap: the
+                # result probe needs the token digest, which a memo miss
+                # would force us to preprocess and parse for. A remote
+                # memo skips the frontend entirely, and is copied into
+                # the local cache for the next run.
+                with self.tracer.span(
+                    "cache", cat="phase", unit=plan.name
+                ) as memo_span:
+                    remote_memo = self.remote.get_memo(key)
+                stats.cache_s += memo_span.duration
+                if remote_memo is not None and self._includes_unchanged(
+                    remote_memo.includes, files
+                ):
+                    stats.remote_hits += 1
+                    memo = remote_memo
+                    if self.cache is not None:
+                        self.cache.put_unit_memo(key, memo)
+                else:
+                    stats.remote_misses += 1
+            if memo is not None:
                 stats.memo_hits += 1
                 self.metrics.inc("cache.memo.hit")
                 plan.token_digest = memo.token_digest
@@ -535,7 +619,8 @@ class IncrementalChecker:
         ) as iface_span:
             plan.interface = unit_interface(plan.parsed)
         stats.symtab_s += iface_span.duration
-        if self.cache is not None and memo_key is not None:
+        want_memo = self.cache is not None or self._remote_alive()
+        if want_memo and memo_key is not None:
             with self.tracer.span(
                 "cache", cat="phase", unit=plan.name
             ) as memo_span:
@@ -547,16 +632,17 @@ class IncrementalChecker:
                     source = sources.get(name)
                     if source is not None:
                         closure.append((name, text_digest(source.text)))
-                self.cache.put_unit_memo(
-                    memo_key,
-                    UnitMemo(
-                        token_digest=plan.token_digest,
-                        iface_digest=plan.iface_digest,
-                        iface_pickle=iface_pickle,
-                        includes=closure,
-                        enum_consts=plan.enum_consts,
-                    ),
+                memo = UnitMemo(
+                    token_digest=plan.token_digest,
+                    iface_digest=plan.iface_digest,
+                    iface_pickle=iface_pickle,
+                    includes=closure,
+                    enum_consts=plan.enum_consts,
                 )
+                if self.cache is not None:
+                    self.cache.put_unit_memo(memo_key, memo)
+                if self._remote_alive():
+                    self.remote.put_memo(memo_key, memo)
             stats.cache_s += memo_span.duration
 
     def _fail_plan(self, plan: _UnitPlan, fatal) -> None:

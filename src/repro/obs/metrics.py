@@ -16,6 +16,8 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
+from contextlib import contextmanager
 
 #: Histogram upper bounds in seconds; the last bucket is unbounded.
 LATENCY_BUCKETS_S = (0.001, 0.005, 0.025, 0.1, 0.5, 2.0, 10.0)
@@ -117,6 +119,17 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram | None:
         return self._histograms.get(name)
+
+    @contextmanager
+    def timer(self, name: str):
+        """``with metrics.timer("x"): ...`` observes the block's wall
+        time into histogram *x* — including when the block raises, so
+        failed operations still show up in the latency picture."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - t0)
 
     # -- dumping ------------------------------------------------------------
 

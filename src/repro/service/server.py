@@ -167,7 +167,7 @@ class Session:
         self.closed = True
 
 
-class _LineReader:
+class LineReader:
     """Bounded line framing over an asyncio stream.
 
     Unlike ``StreamReader.readline`` this never buffers more than the
@@ -175,13 +175,22 @@ class _LineReader:
     its terminating newline (or EOF) while keeping a prefix for
     request-id recovery — a slow-loris or runaway client costs bounded
     memory and exactly one error reply.
+
+    The line cap defaults to the checking protocol's request bound but
+    is parameterized: the cache service reuses this framing with a
+    larger cap sized for pickled interface payloads.
     """
 
     _CHUNK = 1 << 16
 
-    def __init__(self, reader: asyncio.StreamReader) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        max_bytes: int = MAX_REQUEST_BYTES,
+    ) -> None:
         self._reader = reader
         self._buf = bytearray()
+        self._max_bytes = max_bytes
 
     async def next_line(self):
         """Returns ``("line", text)``, ``("oversized", (prefix, size))``,
@@ -191,13 +200,13 @@ class _LineReader:
             if idx >= 0:
                 line = self._buf[:idx]
                 del self._buf[: idx + 1]
-                if len(line) > MAX_REQUEST_BYTES:
+                if len(line) > self._max_bytes:
                     return "oversized", (
                         line[:_OVERSIZE_KEEP].decode("utf-8", "replace"),
                         len(line),
                     )
                 return "line", line.decode("utf-8", "replace")
-            if len(self._buf) > MAX_REQUEST_BYTES:
+            if len(self._buf) > self._max_bytes:
                 return "oversized", await self._consume_oversized()
             chunk = await self._reader.read(self._CHUNK)
             if not chunk:
@@ -384,7 +393,7 @@ class CheckingService:
                 "max_inflight": self.max_inflight,
                 "request_timeout": self.request_timeout,
             })
-            lines = _LineReader(reader)
+            lines = LineReader(reader)
             while not session.closed:
                 kind, payload = await lines.next_line()
                 if kind == "eof":
@@ -599,8 +608,12 @@ class CheckingService:
 # -- CLI entry ---------------------------------------------------------------
 
 
-def _parse_addr(value: str) -> tuple[str | None, int | None, str | None]:
-    """``HOST:PORT`` or ``unix:PATH`` → (host, port, unix_path)."""
+def parse_addr(value: str) -> tuple[str | None, int | None, str | None]:
+    """``HOST:PORT`` or ``unix:PATH`` → (host, port, unix_path).
+
+    Shared by ``--serve``'s ``--addr`` and the cache service's
+    ``--cache-server`` / ``--addr`` options.
+    """
     if value.startswith("unix:"):
         path = value[len("unix:"):]
         if not path:
@@ -652,7 +665,7 @@ def run_service(argv: list[str]) -> int:
                 jobs = max(1, int(take_value(i, "--jobs")))
             elif arg in ("--addr", "-addr"):
                 i += 1
-                parsed_host, parsed_port, parsed_unix = _parse_addr(
+                parsed_host, parsed_port, parsed_unix = parse_addr(
                     take_value(i, "--addr")
                 )
                 if parsed_unix is not None:

@@ -1,0 +1,153 @@
+"""End-to-end tests for distributed checking: sharded parallel runs and
+the shared cache service.
+
+Pins the tentpole acceptance properties: a sharded parallel run and a
+cache-server-assisted run both emit byte-identical output to a serial
+run; a warm cache server lets a worker with a fresh local cache skip
+the frontend entirely; and a dead or dying server degrades to plain
+checking with a single note, never an error.
+"""
+
+import pytest
+
+from repro.bench.seeding import generate_seeded_program
+from repro.core.api import Checker
+from repro.incremental import (
+    CacheClient,
+    CacheServerThread,
+    IncrementalChecker,
+    ResultCache,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    # A multi-module program with seeded bugs keeps real messages in
+    # play, so byte-identity is a meaningful comparison.
+    return dict(generate_seeded_program(modules=4).program.files)
+
+
+@pytest.fixture(scope="module")
+def serial_renders(corpus):
+    result = Checker().check_sources(dict(corpus))
+    renders = [m.render() for m in result.messages]
+    assert renders, "seeded corpus must produce messages"
+    return renders
+
+
+def _renders(result):
+    return [m.render() for m in result.messages]
+
+
+class TestShardedParallelIdentity:
+    @pytest.mark.parametrize("strategy", ["interface", "size", "round-robin"])
+    def test_sharded_run_is_byte_identical(
+        self, corpus, serial_renders, strategy, tmp_path
+    ):
+        from repro.incremental import parallel
+
+        if not parallel.fork_available():
+            pytest.skip("needs fork")
+        engine = IncrementalChecker(
+            cache=ResultCache(str(tmp_path / "c")),
+            jobs=3,
+            shard_strategy=strategy,
+            metrics=MetricsRegistry(),
+        )
+        result = engine.check_sources(dict(corpus))
+        assert _renders(result) == serial_renders
+        assert engine.metrics.count("engine.shard.count") > 0
+
+
+class TestCacheServerFlow:
+    def test_distributed_run_is_byte_identical_and_skips_frontend(
+        self, corpus, serial_renders, tmp_path
+    ):
+        # Producer: cold serial run populating the shared cache dir.
+        shared = str(tmp_path / "shared")
+        producer = IncrementalChecker(cache=ResultCache(shared))
+        producer.check_sources(dict(corpus))
+
+        server = CacheServerThread(cache_dir=shared)
+        try:
+            # Consumer: fresh local cache, warm server. Every unit
+            # should resolve via remote memo + result without parsing.
+            metrics = MetricsRegistry()
+            client = CacheClient(server.addr, metrics=metrics)
+            consumer = IncrementalChecker(
+                cache=ResultCache(str(tmp_path / "local")),
+                remote=client,
+                metrics=metrics,
+            )
+            result = consumer.check_sources(dict(corpus))
+            assert _renders(result) == serial_renders
+            assert consumer.stats.remote_misses == 0
+            assert consumer.stats.remote_hits >= consumer.stats.units
+            assert consumer.stats.memo_hits == consumer.stats.units
+            assert "cache server:" in consumer.stats.render()
+
+            # Remote hits were copied into the local cache: a second
+            # run is fully local-warm with zero server traffic.
+            before = metrics.count("cacheserver.client.hits")
+            again = IncrementalChecker(
+                cache=ResultCache(str(tmp_path / "local")),
+                remote=CacheClient(server.addr, metrics=metrics),
+            )
+            rerun = again.check_sources(dict(corpus))
+            assert _renders(rerun) == serial_renders
+            assert again.stats.cache_hits == again.stats.units
+            assert metrics.count("cacheserver.client.hits") == before
+            client.close()
+        finally:
+            server.close()
+
+    def test_fresh_server_gets_populated_by_the_first_run(
+        self, corpus, serial_renders, tmp_path
+    ):
+        server = CacheServerThread(cache_dir=str(tmp_path / "shared"))
+        try:
+            first = IncrementalChecker(
+                cache=ResultCache(str(tmp_path / "a")),
+                remote=CacheClient(server.addr),
+            )
+            first.check_sources(dict(corpus))
+            assert first.stats.remote_hits == 0
+
+            second = IncrementalChecker(
+                cache=ResultCache(str(tmp_path / "b")),
+                remote=CacheClient(server.addr),
+            )
+            result = second.check_sources(dict(corpus))
+            assert _renders(result) == serial_renders
+            assert second.stats.remote_misses == 0
+            assert second.stats.remote_hits >= second.stats.units
+        finally:
+            server.close()
+
+    def test_dead_server_degrades_to_plain_checking(
+        self, corpus, serial_renders, tmp_path
+    ):
+        client = CacheClient("127.0.0.1:1", timeout=0.5)
+        engine = IncrementalChecker(
+            cache=ResultCache(str(tmp_path / "c")), remote=client
+        )
+        result = engine.check_sources(dict(corpus))
+        assert _renders(result) == serial_renders
+        assert client.dead
+        notes = [n for n in engine.stats.notes if "unavailable" in n]
+        assert len(notes) == 1
+
+    def test_server_dying_mid_run_degrades_cleanly(
+        self, corpus, serial_renders, tmp_path
+    ):
+        server = CacheServerThread(cache_dir=str(tmp_path / "shared"))
+        client = CacheClient(server.addr)
+        assert client.ping()
+        server.close()  # server goes away while the client holds a socket
+        engine = IncrementalChecker(
+            cache=ResultCache(str(tmp_path / "c")), remote=client
+        )
+        result = engine.check_sources(dict(corpus))
+        assert _renders(result) == serial_renders
+        assert client.dead

@@ -1,0 +1,190 @@
+"""Unit tests for the shared cache service (repro.incremental.cacheserver)."""
+
+import json
+import socket
+
+import pytest
+
+from repro.frontend.source import Location
+from repro.incremental.cache import ResultCache, UnitMemo
+from repro.incremental.cacheserver import (
+    CacheClient,
+    CacheServerThread,
+    _decode_memo,
+    _encode_memo,
+)
+from repro.messages.message import Message, MessageCode
+from repro.obs.metrics import MetricsRegistry
+
+FP = "ab" * 32
+KEY = "cd" * 32
+
+
+def _message():
+    return Message(
+        code=MessageCode.NULL_DEREF,
+        location=Location("u.c", 3, 1),
+        text="possible null dereference of p",
+    )
+
+
+def _memo():
+    return UnitMemo(
+        token_digest="11" * 32,
+        iface_digest="22" * 32,
+        iface_pickle=b"\x80\x04N.",  # pickled None: payload is opaque bytes
+        includes=[("u.h", "33" * 32)],
+        enum_consts={"N": 4},
+    )
+
+
+@pytest.fixture()
+def server(tmp_path):
+    thread = CacheServerThread(cache_dir=str(tmp_path / "shared"))
+    try:
+        yield thread
+    finally:
+        thread.close()
+
+
+class TestRoundTrips:
+    def test_ping(self, server):
+        client = CacheClient(server.addr)
+        assert client.ping()
+        client.close()
+
+    def test_result_round_trip(self, server):
+        writer = CacheClient(server.addr)
+        writer.put_result(FP, [_message()], suppressed=2)
+        writer.close()
+        reader = CacheClient(server.addr)
+        found = reader.get_result(FP)
+        assert found is not None
+        messages, suppressed = found
+        assert suppressed == 2
+        assert [m.render() for m in messages] == [_message().render()]
+        reader.close()
+
+    def test_memo_round_trip(self, server):
+        client = CacheClient(server.addr)
+        client.put_memo(KEY, _memo())
+        back = client.get_memo(KEY)
+        assert back is not None
+        assert back.token_digest == _memo().token_digest
+        assert back.iface_pickle == _memo().iface_pickle
+        assert back.includes == _memo().includes
+        assert back.enum_consts == {"N": 4}
+        client.close()
+
+    def test_miss_is_not_an_error(self, server):
+        client = CacheClient(server.addr)
+        assert client.get_result(FP) is None
+        assert client.get_memo(KEY) is None
+        assert not client.dead
+        client.close()
+
+    def test_puts_land_in_the_backing_cache(self, server, tmp_path):
+        client = CacheClient(server.addr)
+        client.put_result(FP, [_message()], suppressed=0)
+        client.close()
+        cache = ResultCache(str(tmp_path / "shared"))
+        assert cache.get_result(FP) is not None
+
+    def test_stats_op(self, server):
+        client = CacheClient(server.addr)
+        client.get_result(FP)  # one miss
+        stats = client.stats()
+        assert stats is not None
+        assert stats["counters"]["cacheserver.misses"] >= 1
+        client.close()
+
+
+class TestServerRobustness:
+    def _raw(self, server, *lines):
+        host, port = server.addr.rsplit(":", 1)
+        with socket.create_connection((host, int(port)), timeout=5) as sock:
+            file = sock.makefile("rwb")
+            file.readline()  # ready line
+            replies = []
+            for line in lines:
+                file.write(line + b"\n")
+                file.flush()
+                replies.append(json.loads(file.readline()))
+            return replies
+
+    def test_garbage_line_gets_error_reply_and_connection_survives(
+        self, server
+    ):
+        replies = self._raw(
+            server, b"not json", json.dumps({"op": "ping"}).encode()
+        )
+        assert replies[0]["ok"] is False
+        assert replies[1] == {"ok": True, "pong": True}
+
+    def test_unknown_op_is_rejected(self, server):
+        (reply,) = self._raw(server, json.dumps({"op": "explode"}).encode())
+        assert reply["ok"] is False and "unknown op" in reply["error"]
+
+    def test_non_hex_key_is_rejected(self, server):
+        (reply,) = self._raw(
+            server,
+            json.dumps(
+                {"op": "get", "kind": "result", "key": "../escape"}
+            ).encode(),
+        )
+        assert reply["ok"] is False
+
+    def test_malformed_put_payload_is_rejected(self, server):
+        (reply,) = self._raw(
+            server,
+            json.dumps(
+                {"op": "put", "kind": "result", "key": FP,
+                 "payload": {"messages": "nope"}}
+            ).encode(),
+        )
+        assert reply["ok"] is False
+
+
+class TestClientDegradation:
+    def test_unreachable_server_degrades_to_miss_with_one_note(self):
+        metrics = MetricsRegistry()
+        client = CacheClient("127.0.0.1:1", metrics=metrics, timeout=0.5)
+        assert client.get_result(FP) is None
+        assert client.dead
+        # Once dead, further probes are free local misses: no more
+        # connect attempts, no more notes.
+        assert client.get_memo(KEY) is None
+        client.put_result(FP, [], 0)
+        notes = client.drain_notes()
+        assert len(notes) == 1 and "unavailable" in notes[0]
+        assert client.drain_notes() == []
+        assert metrics.count("cacheserver.client.errors") == 1
+
+    def test_protocol_garbage_marks_client_dead(self, server):
+        client = CacheClient(server.addr)
+        assert client.ping()
+        # Inject garbage by pointing the buffered file at a closed pipe.
+        client._file.close()
+        assert client.get_result(FP) is None
+        assert client.dead
+        client.close()
+
+    def test_bad_address_raises_value_error(self):
+        with pytest.raises(ValueError):
+            CacheClient("not-an-address")
+
+
+class TestMemoCodec:
+    def test_round_trip(self):
+        assert _decode_memo(_encode_memo(_memo())) == _memo()
+
+    @pytest.mark.parametrize("broken", [
+        None,
+        [],
+        {},
+        {"token_digest": "x"},
+        {**_encode_memo(_memo()), "iface_pickle": "!!not base64!!"},
+        {**_encode_memo(_memo()), "enum_consts": {"N": "wat"}},
+    ])
+    def test_malformed_payloads_decode_to_none(self, broken):
+        assert _decode_memo(broken) is None

@@ -122,6 +122,24 @@ class TestSizeAnnotation:
         src = "extern void g(/*@size(wat)@*/ int *p);"
         assert MessageCode.ANNOTATION_PROBLEM in codes(src)
 
+    def test_size_zero_is_malformed(self):
+        # Satellite regression: a zero extent used to be accepted and
+        # fed the bounds checker a vacuous bound.
+        src = "extern void g(/*@size(0)@*/ int *p);"
+        assert MessageCode.ANNOTATION_PROBLEM in codes(src)
+        problems = [t for t in texts(src) if "size annotation" in t]
+        assert problems and "positive integer extent" in problems[0]
+
+    def test_size_negative_is_malformed(self):
+        src = "extern void g(/*@size(-1)@*/ int *p);"
+        assert MessageCode.ANNOTATION_PROBLEM in codes(src)
+
+    def test_size_one_is_the_smallest_valid_extent(self):
+        clean = "void f(/*@size(1)@*/ int *p) { p[0] = 1; }"
+        assert codes(clean) == []
+        bad = "void f(/*@size(1)@*/ int *p) { p[1] = 1; }"
+        assert codes(bad) == [MessageCode.ARRAY_BOUNDS]
+
 
 class TestFlagGating:
     def test_minus_bounds_silences_the_checker(self):

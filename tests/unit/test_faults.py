@@ -158,19 +158,24 @@ class TestParallelFallback:
             for i, text in enumerate(texts)
         ]
 
-    def test_unpicklable_state_records_reason(self):
-        from repro.incremental.parallel import check_units_parallel
+    def test_unpicklable_state_no_longer_forces_serial(self):
+        # Shared state travels through fork-inherited memory, so
+        # unpicklable members (which used to force a serial fallback)
+        # parallelize like anything else.
+        from repro.incremental import parallel
 
+        if not parallel.fork_available():
+            pytest.skip("needs fork")
         units = self._parsed(["int f(void) { return 1; }",
                               "int g(void) { return 2; }"])
         symtab = build_program_symtab([unit_interface(u) for u in units])
-        outputs, notes = check_units_parallel(
+        outputs, notes = parallel.check_units_parallel(
             units, symtab, Checker().flags,
             {"bad": lambda: None},  # unpicklable enum_consts
             jobs=2,
         )
-        assert outputs is None
-        assert any("not picklable" in note for note in notes)
+        assert outputs is not None and len(outputs) == 2
+        assert notes == []
 
     def test_single_unit_stays_serial_silently(self):
         from repro.incremental.parallel import check_units_parallel
@@ -190,8 +195,8 @@ class TestParallelFallback:
             pytest.skip("needs fork")
 
         # Workers inherit the monkeypatched task through fork; the
-        # parent retries each unit with the real check function.
-        monkeypatch.setattr(parallel, "_check_unit_task", _die_task)
+        # parent retries each shard with the real check function.
+        monkeypatch.setattr(parallel, "_check_shard_task", _die_task)
         units = self._parsed(["int f(void) { return 1; }",
                               "int g(void) { return 2; }"])
         symtab = build_program_symtab([unit_interface(u) for u in units])
@@ -203,13 +208,75 @@ class TestParallelFallback:
         assert len(notes) == 2
         assert all("re-checked serially" in note for note in notes)
 
+    def test_broken_pool_falls_back_serially_once(self, monkeypatch):
+        # Satellite regression: a collapsed pool used to be recorded as
+        # one retry per surviving unit. It must cost one fallback with
+        # one note, and every unit must still be checked.
+        from repro.incremental import parallel
+        from repro.obs.metrics import MetricsRegistry
+
+        if not parallel.fork_available():
+            pytest.skip("needs fork")
+        monkeypatch.setattr(parallel, "_check_shard_task", _break_pool_task)
+        units = self._parsed([
+            f"int f{i}(void) {{ return {i}; }}" for i in range(4)
+        ])
+        symtab = build_program_symtab([unit_interface(u) for u in units])
+        metrics = MetricsRegistry()
+        outputs, notes = parallel.check_units_parallel(
+            units, symtab, Checker().flags, {}, jobs=2, metrics=metrics
+        )
+        assert outputs is not None and len(outputs) == 4
+        assert all(out is not None for out in outputs)
+        assert len(notes) == 1
+        assert "BrokenProcessPool" in notes[0]
+        assert metrics.count("engine.parallel.fallbacks") == 1
+        assert metrics.count("engine.parallel.unit_retries") == 0
+
+    def test_task_payload_does_not_scale_with_unit_count(self, monkeypatch):
+        # Satellite regression: shared state used to be pickled into
+        # every worker via initargs, multiplying peak memory by the job
+        # count. Tasks must now carry only shard indices, so the bytes
+        # pickled per submit stay tiny however large the units are.
+        import pickle as pickle_mod
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.incremental import parallel
+
+        if not parallel.fork_available():
+            pytest.skip("needs fork")
+        big_body = "".join(f"    int a{i} = {i};\n" for i in range(2000))
+        units = self._parsed([
+            f"int f{i}(void) {{\n{big_body}    return {i}; }}"
+            for i in range(3)
+        ])
+        assert sum(len(u.unit.name) for u in units)  # parsed fine
+        payload_sizes = []
+        real_submit = ProcessPoolExecutor.submit
+
+        def recording_submit(self, fn, *args, **kwargs):
+            payload_sizes.append(len(pickle_mod.dumps((args, kwargs))))
+            return real_submit(self, fn, *args, **kwargs)
+
+        monkeypatch.setattr(
+            ProcessPoolExecutor, "submit", recording_submit
+        )
+        symtab = build_program_symtab([unit_interface(u) for u in units])
+        outputs, notes = parallel.check_units_parallel(
+            units, symtab, Checker().flags, {}, jobs=2
+        )
+        assert outputs is not None and len(outputs) == 3
+        assert payload_sizes, "parallel path did not submit tasks"
+        assert max(payload_sizes) < 4096, payload_sizes
+        assert parallel._PARENT_STATE is None  # no lingering references
+
     def test_keyboard_interrupt_propagates(self, monkeypatch):
         from repro.incremental import parallel
 
         def interrupt(*args, **kwargs):
             raise KeyboardInterrupt
 
-        monkeypatch.setattr(parallel.pickle, "dumps", interrupt)
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", interrupt)
         units = self._parsed(["int f(void) { return 1; }",
                               "int g(void) { return 2; }"])
         symtab = build_program_symtab([unit_interface(u) for u in units])
@@ -219,8 +286,14 @@ class TestParallelFallback:
             )
 
 
-def _die_task(index):
-    raise RuntimeError(f"worker died on {index}")
+def _die_task(indices):
+    raise RuntimeError(f"worker died on {indices}")
+
+
+def _break_pool_task(indices):
+    from concurrent.futures.process import BrokenProcessPool
+
+    raise BrokenProcessPool(f"simulated collapse on {indices}")
 
 
 class TestCancelScopes:

@@ -397,6 +397,22 @@ class TestResultJournal:
             with cache.batch():
                 cache.put_result("not-hex", [_message()], suppressed=0)
 
+    def test_compaction_rereads_disk_under_the_lock(self, tmp_path):
+        # Another process's appended entries must survive a compaction
+        # that started before they landed: compact folds what is on
+        # disk, not a possibly stale in-memory view.
+        cache, _ = self._registry_cache(tmp_path)
+        with cache.batch():
+            cache.put_result(self.FP1, [_message()], suppressed=1)
+        other = ResultCache(cache.root)
+        with other.batch():
+            other.put_result(self.FP2, [_message()], suppressed=2)
+        cache.compact_journal()  # never saw FP2 in memory
+        fresh = ResultCache(cache.root)
+        assert fresh.get_result(self.FP1)[1] == 1
+        assert fresh.get_result(self.FP2)[1] == 2
+        assert fresh.verify_integrity()["corrupt"] == 0
+
     def test_verify_integrity_counts_and_flags(self, tmp_path):
         cache, _ = self._registry_cache(tmp_path)
         cache.put_result(self.FP1, [_message()], suppressed=0)
@@ -412,3 +428,55 @@ class TestResultJournal:
             handle.write("{broken")
         fresh = ResultCache(cache.root)
         assert fresh.verify_integrity()["corrupt"] >= 1
+
+
+@pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="needs fork for a two-process stress"
+)
+class TestConcurrentCompaction:
+    """Two writers interleaving appends with compactions lose nothing.
+
+    This is the regression test for the fold-then-truncate race: before
+    compaction took ``CacheDirLock`` and re-read the journal from disk,
+    a compactor could truncate away entries another process appended
+    after the compactor's in-memory snapshot, silently dropping results.
+    """
+
+    PER_CHILD = 120
+
+    def _child(self, root, child_id, start_evt):
+        cache = ResultCache(root)
+        start_evt.wait(10)
+        for i in range(self.PER_CHILD):
+            fp = f"{child_id:02x}{i:062x}"
+            with cache.batch():
+                cache.put_result(fp, [_message()], suppressed=i)
+            if i % 7 == 0:
+                cache.compact_journal()
+        cache.compact_journal()
+
+    def test_no_result_lost_and_integrity_holds(self, tmp_path):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        root = str(tmp_path / "c")
+        ResultCache(root)  # lay down the directory skeleton once
+        start_evt = ctx.Event()
+        children = [
+            ctx.Process(target=self._child, args=(root, cid, start_evt))
+            for cid in (1, 2)
+        ]
+        for proc in children:
+            proc.start()
+        start_evt.set()
+        for proc in children:
+            proc.join(60)
+            assert proc.exitcode == 0
+        fresh = ResultCache(root)
+        for cid in (1, 2):
+            for i in range(self.PER_CHILD):
+                fp = f"{cid:02x}{i:062x}"
+                found = fresh.get_result(fp)
+                assert found is not None, f"lost result {fp}"
+                assert found[1] == i
+        assert fresh.verify_integrity()["corrupt"] == 0
